@@ -1,0 +1,178 @@
+// Command casearch runs the paper's section VII experiment: the GA-based
+// search for challenging situations where ACAS XU behaves poorly. With the
+// default settings it reproduces the paper-scale workload — population 200
+// evolved for 5 generations, every encounter scored by 100 stochastic
+// simulations — and reports the Fig. 6 fitness series, the wall-clock time
+// (paper footnote 5: ~300 s), and the geometry analysis of the discovered
+// encounters (Figs. 7-8: tail approaches dominate).
+//
+// Usage:
+//
+//	casearch [-table table.acxt] [-pop 200] [-gens 5] [-sims 100]
+//	         [-seed 1] [-top 10] [-system acasx|svo|none]
+//	         [-params ecj.params] [-fitness-csv fig6.csv]
+//	         [-baseline] [-clusters 3]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"acasxval/internal/acasx"
+	"acasxval/internal/cli"
+	"acasxval/internal/config"
+	"acasxval/internal/core"
+	"acasxval/internal/ga"
+	"acasxval/internal/viz"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "casearch:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		tablePath  = flag.String("table", "", "logic table path (built on the fly when absent)")
+		coarse     = flag.Bool("coarse", false, "use the reduced-resolution table when building")
+		system     = flag.String("system", "acasx", "system under test: acasx, svo or none")
+		pop        = flag.Int("pop", 200, "GA population size (paper: 200)")
+		gens       = flag.Int("gens", 5, "GA generations (paper: 5)")
+		sims       = flag.Int("sims", 100, "simulations per encounter (paper: 100)")
+		seed       = flag.Uint64("seed", 1, "search seed")
+		topK       = flag.Int("top", 10, "number of top encounters to report")
+		paramsFile = flag.String("params", "", "ECJ-style parameter file overriding GA settings")
+		fitnessCSV = flag.String("fitness-csv", "", "write the Fig. 6 evaluation log as CSV")
+		foundCSV   = flag.String("found-csv", "", "write the top encounters as CSV (replayable with encsim -found)")
+		baseline   = flag.Bool("baseline", false, "also run the random-search baseline at equal budget")
+		clusters   = flag.Int("clusters", 0, "cluster the high-fitness encounters into K groups")
+	)
+	flag.Parse()
+
+	cfg := core.DefaultSearchConfig()
+	cfg.GA.PopulationSize = *pop
+	cfg.GA.Generations = *gens
+	cfg.GA.Seed = *seed
+	cfg.Fitness.SimsPerEncounter = *sims
+	if *paramsFile != "" {
+		params, err := config.Load(*paramsFile)
+		if err != nil {
+			return err
+		}
+		gaParams, err := ga.FromConfig(params)
+		if err != nil {
+			return err
+		}
+		cfg.GA = gaParams
+	}
+
+	table, err := maybeTable(*system, *tablePath, *coarse)
+	if err != nil {
+		return err
+	}
+	sysFactory, err := cli.SystemFactory(*system, table)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("GA search: system=%s pop=%d gens=%d sims/encounter=%d seed=%d\n",
+		*system, cfg.GA.PopulationSize, cfg.GA.Generations, cfg.Fitness.SimsPerEncounter, cfg.GA.Seed)
+
+	res, err := core.Search(cfg, sysFactory, *topK, func(gs ga.GenerationStats) {
+		fmt.Printf("  generation %d: fitness min %.1f mean %.1f max %.1f\n",
+			gs.Generation, gs.Min, gs.Mean, gs.Max)
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("\nsearch time: %v over %d encounter evaluations (paper footnote 5: ~300 s)\n",
+		res.Elapsed.Round(1e7), res.NumEvaluations)
+
+	fmt.Println("\nFig. 6 — fitness per encounter over the search:")
+	fmt.Print(viz.RenderFitnessSeries(res.Evaluations, cfg.GA.PopulationSize, 100, 18))
+
+	fmt.Printf("\ntop %d challenging encounters:\n%s", len(res.Top), core.ReportTop(res.Top))
+	tally := core.Tally(res.Top)
+	fmt.Printf("geometry tally: %s\n", tally)
+	fmt.Printf("dominant class: %s (paper: \"most of them are tail approach situations\")\n",
+		tally.Dominant())
+
+	if *fitnessCSV != "" {
+		f, err := os.Create(*fitnessCSV)
+		if err != nil {
+			return err
+		}
+		if err := viz.WriteFitnessCSV(f, res.Evaluations); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote evaluation log to %s\n", *fitnessCSV)
+	}
+
+	if *foundCSV != "" {
+		f, err := os.Create(*foundCSV)
+		if err != nil {
+			return err
+		}
+		if err := core.WriteFound(f, res.Top); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote top encounters to %s\n", *foundCSV)
+	}
+
+	if *clusters > 0 {
+		cs, err := core.ClusterEvaluations(cfg.Ranges, res.Evaluations, *clusters,
+			res.Best.Fitness/2, cfg.GA.Seed)
+		if err != nil {
+			fmt.Printf("clustering skipped: %v\n", err)
+		} else {
+			fmt.Printf("\n%d clusters of high-fitness encounters:\n", len(cs))
+			for i, c := range cs {
+				fmt.Printf("  cluster %d: %d members, mean fitness %.1f, center %s\n",
+					i+1, len(c.Members), c.MeanFitness, c.Center)
+			}
+		}
+	}
+
+	if *baseline {
+		fmt.Printf("\nrandom-search baseline (%d evaluations):\n", res.NumEvaluations)
+		rnd, err := core.RandomSearch(cfg, sysFactory, res.NumEvaluations, true)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  GA best fitness:     %.1f\n", res.Best.Fitness)
+		fmt.Printf("  random best fitness: %.1f (in %v)\n", rnd.Best.Fitness, rnd.Elapsed.Round(1e7))
+		threshold := res.Best.Fitness * 0.9
+		gaAt := core.EvaluationsToReach(res.Evaluations, threshold)
+		rndAt := core.EvaluationsToReach(rnd.Evaluations, threshold)
+		fmt.Printf("  evaluations to reach fitness %.0f: GA %s, random %s\n",
+			threshold, fmtEvals(gaAt), fmtEvals(rndAt))
+	}
+	return nil
+}
+
+func fmtEvals(n int) string {
+	if n < 0 {
+		return "never"
+	}
+	return fmt.Sprintf("%d", n)
+}
+
+// maybeTable builds/loads the table only when the system needs one.
+func maybeTable(system, path string, coarse bool) (*acasx.Table, error) {
+	if system != "acasx" {
+		return nil, nil
+	}
+	return cli.LoadOrBuildTable(path, coarse, 0)
+}

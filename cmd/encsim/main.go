@@ -1,0 +1,221 @@
+// Command encsim simulates a single two-UAV encounter and renders the
+// trajectories — the headless equivalent of the paper's visualization mode
+// used for Fig. 5 (coordinated head-on avoidance) and Figs. 7-8 (typical
+// GA-discovered collision situations).
+//
+// Usage:
+//
+//	encsim -preset headon|tailchase|crossing|vertical [-runs 100]
+//	       [-system acasx|svo|none] [-table table.acxt] [-seed 1]
+//	       [-svg out.svg] [-csv out.csv] [-plane plan|profile|time]
+//	encsim -genome "Gso,Vso,T,R,theta,Y,Gsi,psi,Vsi" ...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"acasxval/internal/acasx"
+	"acasxval/internal/cli"
+	"acasxval/internal/core"
+	"acasxval/internal/encounter"
+	"acasxval/internal/sim"
+	"acasxval/internal/stats"
+	"acasxval/internal/viz"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "encsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		preset    = flag.String("preset", "headon", "encounter preset: headon, tailchase, crossing, vertical")
+		genome    = flag.String("genome", "", "explicit 9-parameter encounter, comma-separated (overrides -preset)")
+		foundCSV  = flag.String("found", "", "replay an encounter from a casearch -found-csv file (overrides -preset)")
+		foundRank = flag.Int("found-rank", 1, "1-based row to replay from the -found file")
+		system    = flag.String("system", "acasx", "system under test: acasx, svo or none")
+		tablePath = flag.String("table", "", "logic table path (built on the fly when absent)")
+		coarse    = flag.Bool("coarse", false, "use the reduced-resolution table when building")
+		runs      = flag.Int("runs", 100, "number of stochastic runs for the accident-rate estimate")
+		seed      = flag.Uint64("seed", 1, "base seed")
+		svgOut    = flag.String("svg", "", "write the (first-run) trajectory as SVG")
+		csvOut    = flag.String("csv", "", "write the (first-run) trajectory as CSV")
+		planeName = flag.String("plane", "profile", "ASCII/SVG projection: plan, profile or time")
+	)
+	flag.Parse()
+
+	p, err := pickEncounter(*preset, *genome)
+	if err != nil {
+		return err
+	}
+	if *foundCSV != "" {
+		p, err = loadFound(*foundCSV, *foundRank)
+		if err != nil {
+			return err
+		}
+	}
+	plane, err := pickPlane(*planeName)
+	if err != nil {
+		return err
+	}
+	table, err := maybeTable(*system, *tablePath, *coarse)
+	if err != nil {
+		return err
+	}
+	factory, err := cli.SystemFactory(*system, table)
+	if err != nil {
+		return err
+	}
+
+	g := encounter.Classify(p)
+	fmt.Printf("encounter: %s\n", p)
+	fmt.Printf("geometry: %s, closure %.1f m/s, vertically opposed %v\n",
+		g.Category, g.ClosureRate, g.VerticallyOpposed)
+
+	// Detailed first run with trajectory recording.
+	cfg := sim.DefaultRunConfig()
+	cfg.RecordTrajectory = true
+	own, intr := factory()
+	first, err := sim.RunEncounter(p, own, intr, cfg, *seed)
+	if err != nil {
+		return err
+	}
+	nmacAt := -1.0
+	if first.NMAC {
+		nmacAt = first.NMACTime
+	}
+	fmt.Printf("\nrun 0: NMAC=%v minSep=%.1f m (horizontal %.1f, vertical %.1f), own alerts %d, intruder alerts %d\n",
+		first.NMAC, first.MinSeparation, first.MinHorizontal, first.MinVertical,
+		first.OwnAlerts, first.IntruderAlerts)
+	fmt.Print(viz.RenderTrajectories(first.Trajectory, plane, 100, 24, nmacAt))
+	fmt.Println()
+	fmt.Print(viz.RenderSeparationSeries(first.Trajectory, 100, 12))
+
+	if *svgOut != "" {
+		if err := writeSVG(*svgOut, first.Trajectory, plane, nmacAt); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *svgOut)
+	}
+	if *csvOut != "" {
+		if err := writeCSV(*csvOut, first.Trajectory); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *csvOut)
+	}
+
+	// Accident-rate estimate over stochastic runs (the section VII
+	// statistic: "about 80 to 90 out of 100 simulation runs of such an
+	// encounter would result in mid-air collisions ... in a head-on
+	// encounter less than 5 out of 100").
+	cfg.RecordTrajectory = false
+	nmacs, alerted := 0, 0
+	var sep stats.Accumulator
+	for k := 0; k < *runs; k++ {
+		res, err := sim.RunEncounter(p, own, intr, cfg, stats.DeriveSeed(*seed, k))
+		if err != nil {
+			return err
+		}
+		if res.NMAC {
+			nmacs++
+		}
+		if res.Alerted() {
+			alerted++
+		}
+		sep.Add(res.MinSeparation)
+	}
+	ci := stats.WilsonCI(nmacs, *runs, 0.95)
+	fmt.Printf("\naccident rate: %d/%d NMACs (95%% CI [%.2f, %.2f]), alert rate %.2f, mean min sep %.1f m\n",
+		nmacs, *runs, ci.Lo, ci.Hi, float64(alerted)/float64(*runs), sep.Mean())
+	return nil
+}
+
+func pickEncounter(preset, genome string) (encounter.Params, error) {
+	if genome == "" {
+		return encounter.Preset(preset)
+	}
+	fields := strings.Split(genome, ",")
+	if len(fields) != encounter.NumParams {
+		return encounter.Params{}, fmt.Errorf("genome has %d fields, want %d", len(fields), encounter.NumParams)
+	}
+	v := make([]float64, len(fields))
+	for i, f := range fields {
+		x, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			return encounter.Params{}, fmt.Errorf("genome field %d: %w", i, err)
+		}
+		v[i] = x
+	}
+	return encounter.FromVector(v)
+}
+
+func loadFound(path string, rank int) (encounter.Params, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return encounter.Params{}, err
+	}
+	defer f.Close()
+	found, err := core.ReadFound(f)
+	if err != nil {
+		return encounter.Params{}, err
+	}
+	if rank < 1 || rank > len(found) {
+		return encounter.Params{}, fmt.Errorf("found rank %d outside 1..%d", rank, len(found))
+	}
+	fmt.Printf("replaying %s rank %d (recorded fitness %.1f, generation %d)\n",
+		path, rank, found[rank-1].Fitness, found[rank-1].Generation)
+	return found[rank-1].Params, nil
+}
+
+func pickPlane(name string) (viz.Plane, error) {
+	switch name {
+	case "plan":
+		return viz.PlanView, nil
+	case "profile":
+		return viz.ProfileView, nil
+	case "time":
+		return viz.TimeAltitude, nil
+	default:
+		return 0, fmt.Errorf("unknown plane %q (want plan, profile or time)", name)
+	}
+}
+
+func maybeTable(system, path string, coarse bool) (*acasx.Table, error) {
+	if system != "acasx" {
+		return nil, nil
+	}
+	return cli.LoadOrBuildTable(path, coarse, 0)
+}
+
+func writeSVG(path string, traj []sim.TrajectoryPoint, plane viz.Plane, nmacAt float64) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+	return viz.WriteTrajectorySVG(f, traj, plane, 900, 560, nmacAt)
+}
+
+func writeCSV(path string, traj []sim.TrajectoryPoint) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+	return viz.WriteTrajectoryCSV(f, traj)
+}

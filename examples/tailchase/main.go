@@ -1,0 +1,70 @@
+// Figs. 7-8 reproduction: the tail-approach challenging situation the
+// paper's GA repeatedly discovered — one UAV descending, the other climbing
+// toward it from astern with a tiny closure rate. Because the time to
+// horizontal conflict (tau) stays enormous, the logic never alerts, and the
+// environment disturbance walks the aircraft into a collision in most runs.
+// A head-on encounter with the same equipment resolves almost always.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"acasxval"
+	"acasxval/internal/stats"
+	"acasxval/internal/viz"
+)
+
+func main() {
+	cfg := acasxval.DefaultTableConfig()
+	cfg.Workers = 8
+	table, err := acasxval.BuildLogicTable(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const runs = 100
+	for _, tc := range []struct {
+		name string
+		p    acasxval.EncounterParams
+	}{
+		{"tail approach (Figs. 7-8)", acasxval.PresetTailApproach()},
+		{"head-on (Fig. 5)", acasxval.PresetHeadOn()},
+	} {
+		g := acasxval.Classify(tc.p)
+		nmacs, alerted := 0, 0
+		runCfg := acasxval.DefaultRunConfig()
+		for k := 0; k < runs; k++ {
+			res, err := acasxval.RunEncounter(tc.p,
+				acasxval.NewACASXU(table), acasxval.NewACASXU(table),
+				runCfg, stats.DeriveSeed(11, k))
+			if err != nil {
+				log.Fatal(err)
+			}
+			if res.NMAC {
+				nmacs++
+			}
+			if res.Alerted() {
+				alerted++
+			}
+		}
+		fmt.Printf("%-28s closure %5.1f m/s: %3d/%d NMACs, alert rate %.2f\n",
+			tc.name, g.ClosureRate, nmacs, runs, float64(alerted)/runs)
+	}
+	fmt.Println("\npaper: tail approaches collide in ~80-90 of 100 runs; head-on fewer than 5 of 100")
+
+	// Render one tail-approach run, profile view (compare Figs. 7-8).
+	runCfg := acasxval.DefaultRunConfig()
+	runCfg.RecordTrajectory = true
+	res, err := acasxval.RunEncounter(acasxval.PresetTailApproach(),
+		acasxval.NewACASXU(table), acasxval.NewACASXU(table), runCfg, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	nmacAt := -1.0
+	if res.NMAC {
+		nmacAt = res.NMACTime
+	}
+	fmt.Println()
+	fmt.Print(viz.RenderTrajectories(res.Trajectory, viz.ProfileView, 100, 22, nmacAt))
+}

@@ -1,0 +1,202 @@
+package acasxval
+
+import (
+	"acasxval/internal/acasx"
+	"acasxval/internal/core"
+	"acasxval/internal/encounter"
+	"acasxval/internal/ga"
+	"acasxval/internal/grid2d"
+	"acasxval/internal/montecarlo"
+	"acasxval/internal/sim"
+	"acasxval/internal/svo"
+)
+
+// Re-exported types: the public API surface of the library. Aliases keep
+// the implementation in focused internal packages while giving downstream
+// users a single import.
+type (
+	// TableConfig parameterizes logic-table generation (grids, dynamics,
+	// costs).
+	TableConfig = acasx.Config
+	// Table is a generated or loaded ACAS XU-style logic table.
+	Table = acasx.Table
+	// Advisory is a resolution advisory.
+	Advisory = acasx.Advisory
+	// Logic is the online advisory executive around a Table.
+	Logic = acasx.Logic
+	// SenseMask restricts advisory senses (coordination constraints).
+	SenseMask = acasx.SenseMask
+	// BeliefSigmas parameterize the QMDP belief-weighted executive.
+	BeliefSigmas = acasx.BeliefSigmas
+
+	// EncounterParams are the paper's nine encounter parameters.
+	EncounterParams = encounter.Params
+	// EncounterRanges bound the encounter search space.
+	EncounterRanges = encounter.Ranges
+	// Geometry classifies an encounter (head-on / tail approach /
+	// crossing).
+	Geometry = encounter.Geometry
+
+	// RunConfig parameterizes one encounter simulation.
+	RunConfig = sim.RunConfig
+	// RunResult summarizes one simulated encounter.
+	RunResult = sim.Result
+	// TrajectoryPoint is one recorded trajectory sample.
+	TrajectoryPoint = sim.TrajectoryPoint
+	// System is a pluggable collision avoidance system under test.
+	System = sim.System
+
+	// GAParams configure the genetic algorithm.
+	GAParams = ga.Params
+	// GenerationStats summarize one GA generation.
+	GenerationStats = ga.GenerationStats
+	// Evaluation is one recorded fitness evaluation.
+	Evaluation = ga.Evaluation
+
+	// SearchConfig assembles a challenging-situation search.
+	SearchConfig = core.SearchConfig
+	// SearchResult is the outcome of a GA search.
+	SearchResult = core.SearchResult
+	// FitnessConfig parameterizes the paper's fitness function.
+	FitnessConfig = core.FitnessConfig
+	// Found is one discovered encounter.
+	Found = core.Found
+	// SystemFactory builds fresh systems for one evaluation.
+	SystemFactory = core.SystemFactory
+
+	// EncounterModel is a statistical encounter model for Monte-Carlo
+	// estimation.
+	EncounterModel = montecarlo.EncounterModel
+	// MonteCarloConfig parameterizes risk estimation.
+	MonteCarloConfig = montecarlo.Config
+	// RiskEstimate is a Monte-Carlo risk estimate.
+	RiskEstimate = montecarlo.Estimate
+
+	// Grid2DConfig parameterizes the section III example.
+	Grid2DConfig = grid2d.Config
+	// Grid2DModel is the section III MDP.
+	Grid2DModel = grid2d.Model
+	// Grid2DTable is the section III generated logic table.
+	Grid2DTable = grid2d.LogicTable
+
+	// SVOConfig parameterizes the Selective Velocity Obstacle baseline.
+	SVOConfig = svo.Config
+)
+
+// Advisories.
+const (
+	COC                   = acasx.COC
+	Climb1500             = acasx.Climb1500
+	Descend1500           = acasx.Descend1500
+	StrengthenClimb2500   = acasx.StrengthenClimb2500
+	StrengthenDescend2500 = acasx.StrengthenDescend2500
+)
+
+// DefaultTableConfig returns the full-resolution logic-table
+// parameterization.
+func DefaultTableConfig() TableConfig { return acasx.DefaultConfig() }
+
+// CoarseTableConfig returns a reduced-resolution table for quick
+// experiments.
+func CoarseTableConfig() TableConfig { return acasx.CoarseConfig() }
+
+// BuildLogicTable runs the offline model-based optimization: backward
+// induction value iteration over the encounter MDP.
+func BuildLogicTable(cfg TableConfig) (*Table, error) { return acasx.BuildTable(cfg) }
+
+// LoadLogicTable reads a table produced by Table.Save.
+func LoadLogicTable(path string) (*Table, error) { return acasx.LoadTable(path) }
+
+// NewACASXU equips an aircraft with the table-driven logic.
+func NewACASXU(table *Table) System { return sim.NewACASXU(table) }
+
+// NewACASXUBelief equips an aircraft with the QMDP belief-weighted
+// executive: advisory choice by expected Q value over a Gaussian state
+// belief (the paper's section IV POMDP question).
+func NewACASXUBelief(table *Table, sigmas BeliefSigmas) (System, error) {
+	return sim.NewACASXUBelief(table, sigmas)
+}
+
+// DefaultBeliefSigmas matches the default filtered ADS-B error model.
+func DefaultBeliefSigmas() BeliefSigmas { return acasx.DefaultBeliefSigmas() }
+
+// NewSVO equips an aircraft with the Selective Velocity Obstacle baseline.
+func NewSVO(cfg SVOConfig) (System, error) { return svo.New(cfg) }
+
+// DefaultSVOConfig returns the SVO baseline parameterization.
+func DefaultSVOConfig() SVOConfig { return svo.DefaultConfig() }
+
+// Unequipped returns systems for aircraft with no collision avoidance.
+func Unequipped() (System, System) { return sim.NoSystem{}, sim.NoSystem{} }
+
+// DefaultRunConfig returns the paper-style simulation configuration.
+func DefaultRunConfig() RunConfig { return sim.DefaultRunConfig() }
+
+// RunEncounter simulates one encounter (deterministic under seed).
+func RunEncounter(p EncounterParams, own, intruder System, cfg RunConfig, seed uint64) (RunResult, error) {
+	return sim.RunEncounter(p, own, intruder, cfg, seed)
+}
+
+// DefaultEncounterRanges returns the section VII search space.
+func DefaultEncounterRanges() EncounterRanges { return encounter.DefaultRanges() }
+
+// Preset encounters from the paper's figures.
+var (
+	// PresetHeadOn is the Fig. 5 head-on geometry.
+	PresetHeadOn = encounter.PresetHeadOn
+	// PresetTailApproach is the Figs. 7-8 tail-approach geometry.
+	PresetTailApproach = encounter.PresetTailApproach
+	// PresetCrossing is a perpendicular crossing conflict.
+	PresetCrossing = encounter.PresetCrossing
+	// PresetVerticalConvergence is a vertically-created conflict.
+	PresetVerticalConvergence = encounter.PresetVerticalConvergence
+)
+
+// Classify derives the geometry class of an encounter.
+func Classify(p EncounterParams) Geometry { return encounter.Classify(p) }
+
+// DefaultSearchConfig reproduces the paper's section VII search settings
+// (population 200, 5 generations, 100 simulations per encounter).
+func DefaultSearchConfig() SearchConfig { return core.DefaultSearchConfig() }
+
+// Search runs the GA-based challenging-situation search; the observer (may
+// be nil) receives per-generation progress.
+func Search(cfg SearchConfig, factory SystemFactory, topK int, obs func(GenerationStats)) (*SearchResult, error) {
+	var gaObs ga.Observer
+	if obs != nil {
+		gaObs = ga.Observer(obs)
+	}
+	return core.Search(cfg, factory, topK, gaObs)
+}
+
+// RandomSearch runs the uniform random baseline over n encounters.
+func RandomSearch(cfg SearchConfig, factory SystemFactory, n int, record bool) (*core.RandomSearchResult, error) {
+	return core.RandomSearch(cfg, factory, n, record)
+}
+
+// DefaultEncounterModel returns the parametric UAV airspace model used for
+// Monte-Carlo estimation.
+func DefaultEncounterModel() EncounterModel { return montecarlo.DefaultEncounterModel() }
+
+// DefaultMonteCarloConfig returns the risk-estimation defaults.
+func DefaultMonteCarloConfig() MonteCarloConfig { return montecarlo.DefaultConfig() }
+
+// EstimateRisk runs a Monte-Carlo risk estimation of one system
+// configuration against the encounter model.
+func EstimateRisk(model EncounterModel, factory SystemFactory, cfg MonteCarloConfig) (*RiskEstimate, error) {
+	return montecarlo.Evaluate(model, montecarlo.SystemFactory(factory), cfg)
+}
+
+// RiskRatio is P(NMAC | equipped) / P(NMAC | unequipped).
+func RiskRatio(equipped, unequipped *RiskEstimate) (float64, error) {
+	return montecarlo.RiskRatio(equipped, unequipped)
+}
+
+// DefaultGrid2DConfig returns the paper's section III parameterization.
+func DefaultGrid2DConfig() Grid2DConfig { return grid2d.DefaultConfig() }
+
+// NewGrid2D builds the section III model.
+func NewGrid2D(cfg Grid2DConfig) (*Grid2DModel, error) { return grid2d.New(cfg) }
+
+// SolveGrid2D generates the section III logic table by value iteration.
+func SolveGrid2D(m *Grid2DModel) (*Grid2DTable, error) { return grid2d.Solve(m) }

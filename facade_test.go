@@ -1,0 +1,188 @@
+package acasxval
+
+// Integration tests exercising the full pipeline through the public facade
+// only: table generation -> closed-loop simulation -> fitness -> GA search
+// -> analysis, plus the Monte-Carlo and grid2d paths.
+
+import (
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"acasxval/internal/core"
+	"acasxval/internal/encounter"
+	"acasxval/internal/grid2d"
+	"acasxval/internal/sim"
+)
+
+var (
+	facadeTableOnce sync.Once
+	facadeTable     *Table
+	facadeTableErr  error
+)
+
+func facadeLogicTable(tb testing.TB) *Table {
+	tb.Helper()
+	facadeTableOnce.Do(func() {
+		cfg := DefaultTableConfig()
+		cfg.Workers = 8
+		facadeTable, facadeTableErr = BuildLogicTable(cfg)
+	})
+	if facadeTableErr != nil {
+		tb.Fatal(facadeTableErr)
+	}
+	return facadeTable
+}
+
+func facadeFactory(tb testing.TB) SystemFactory {
+	table := facadeLogicTable(tb)
+	return func() (sim.System, sim.System) {
+		return NewACASXU(table), NewACASXU(table)
+	}
+}
+
+func TestQuickstartFlow(t *testing.T) {
+	table := facadeLogicTable(t)
+	res, err := RunEncounter(PresetHeadOn(), NewACASXU(table), NewACASXU(table), DefaultRunConfig(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NMAC {
+		t.Error("quickstart head-on collided")
+	}
+	if !res.Alerted() {
+		t.Error("quickstart head-on never alerted")
+	}
+}
+
+func TestTableSaveLoadThroughFacade(t *testing.T) {
+	cfg := CoarseTableConfig()
+	cfg.Workers = 4
+	table, err := BuildLogicTable(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "logic.acxt")
+	if err := table.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadLogicTable(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A loaded table must drive the logic identically.
+	p := PresetHeadOn()
+	a, err := RunEncounter(p, NewACASXU(table), NewACASXU(table), DefaultRunConfig(), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunEncounter(p, NewACASXU(loaded), NewACASXU(loaded), DefaultRunConfig(), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MinSeparation != b.MinSeparation || a.NMAC != b.NMAC {
+		t.Error("loaded table behaves differently from built table")
+	}
+}
+
+// TestEndToEndSearchFindsTailApproaches is the integration version of the
+// paper's section VII experiment at reduced scale: the GA search against
+// the equipped system should surface high-fitness encounters, and the
+// fitness should climb across generations.
+func TestEndToEndSearchFindsTailApproaches(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end search is slow")
+	}
+	cfg := DefaultSearchConfig()
+	cfg.GA.PopulationSize = 30
+	cfg.GA.Generations = 4
+	cfg.GA.Seed = 20
+	cfg.Fitness.SimsPerEncounter = 10
+	res, err := Search(cfg, facadeFactory(t), 10, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := res.PerGeneration[0]
+	last := res.PerGeneration[len(res.PerGeneration)-1]
+	if last.Mean <= first.Mean {
+		t.Errorf("fitness did not climb: gen0 mean %v, final mean %v", first.Mean, last.Mean)
+	}
+	if res.Best.Fitness < 2000 {
+		t.Errorf("search failed to find a challenging encounter: best %v", res.Best.Fitness)
+	}
+	// Among the top discoveries, tail approaches dominate (the paper's
+	// "most of them are tail approach situations"). The remainder are
+	// high-vertical-rate convergences, the other genuine weak spot.
+	tally := core.Tally(res.Top)
+	if tally.Dominant() != encounter.TailApproach {
+		t.Errorf("dominant discovered class = %v (%s), want tail-approach",
+			tally.Dominant(), tally)
+	}
+}
+
+func TestSVOThroughFacade(t *testing.T) {
+	svoSys, err := NewSVO(DefaultSVOConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	svoSys2, err := NewSVO(DefaultSVOConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunEncounter(PresetHeadOn(), svoSys, svoSys2, DefaultRunConfig(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NMAC {
+		t.Error("SVO head-on collided")
+	}
+}
+
+func TestMonteCarloThroughFacade(t *testing.T) {
+	cfg := DefaultMonteCarloConfig()
+	cfg.Samples = 60
+	est, err := EstimateRisk(DefaultEncounterModel(), facadeFactory(t), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Samples != 60 {
+		t.Errorf("samples = %d", est.Samples)
+	}
+	if est.PNMAC > 0.3 {
+		t.Errorf("equipped P(NMAC) = %v, suspiciously high", est.PNMAC)
+	}
+}
+
+func TestGrid2DThroughFacade(t *testing.T) {
+	m, err := NewGrid2D(DefaultGrid2DConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lt, err := SolveGrid2D(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := lt.Action(grid2d.State{YO: 0, XR: 2, YI: 0}); got == grid2d.Level {
+		t.Error("grid2d logic levels off before an imminent collision")
+	}
+}
+
+func TestClassifyThroughFacade(t *testing.T) {
+	if Classify(PresetHeadOn()).Category != encounter.HeadOn {
+		t.Error("head-on preset misclassified")
+	}
+	if Classify(PresetTailApproach()).Category != encounter.TailApproach {
+		t.Error("tail preset misclassified")
+	}
+}
+
+func TestUnequippedFacade(t *testing.T) {
+	own, intr := Unequipped()
+	res, err := RunEncounter(PresetHeadOn(), own, intr, DefaultRunConfig(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Alerted() {
+		t.Error("unequipped aircraft alerted")
+	}
+}

@@ -1,0 +1,177 @@
+package acasx
+
+import (
+	"fmt"
+	"math"
+
+	"acasxval/internal/geom"
+	"acasxval/internal/uav"
+)
+
+// BeliefLogic is a QMDP-style executive: instead of looking the logic table
+// up at the surveillance point estimate, it integrates the action values
+// over a Gaussian belief about the relative state and picks the advisory
+// with the best *expected* value.
+//
+// This addresses the paper's section IV model-structure question — "Is the
+// chosen modelling technique (i.e. MDP model) impressive enough ... Or
+// should another model (e.g. a POMDP model) be used?" — with the standard
+// QMDP approximation used by the real ACAS X for imperfect surveillance:
+// solve the underlying MDP offline, then weight its Q values by the state
+// belief online.
+type BeliefLogic struct {
+	table    *Table
+	sigmas   BeliefSigmas
+	advisory Advisory
+	alerts   int
+}
+
+// BeliefSigmas are the standard deviations of the state belief held online.
+type BeliefSigmas struct {
+	// H is the relative-altitude uncertainty, metres.
+	H float64
+	// Rate is the vertical-rate uncertainty (per aircraft), m/s.
+	Rate float64
+	// Tau is the time-to-conflict uncertainty, seconds.
+	Tau float64
+}
+
+// DefaultBeliefSigmas matches the default ADS-B error model after
+// alpha-beta filtering.
+func DefaultBeliefSigmas() BeliefSigmas {
+	return BeliefSigmas{H: 4, Rate: 0.5, Tau: 1.5}
+}
+
+// Validate checks the sigmas.
+func (s BeliefSigmas) Validate() error {
+	if s.H < 0 || s.Rate < 0 || s.Tau < 0 {
+		return fmt.Errorf("acasx: negative belief sigma")
+	}
+	return nil
+}
+
+// NewBeliefLogic creates a QMDP executive around a table.
+func NewBeliefLogic(table *Table, sigmas BeliefSigmas) (*BeliefLogic, error) {
+	if err := sigmas.Validate(); err != nil {
+		return nil, err
+	}
+	return &BeliefLogic{table: table, sigmas: sigmas}, nil
+}
+
+// Advisory returns the active advisory.
+func (l *BeliefLogic) Advisory() Advisory { return l.advisory }
+
+// Alerts returns the number of COC -> advisory transitions.
+func (l *BeliefLogic) Alerts() int { return l.alerts }
+
+// Reset clears the advisory state.
+func (l *BeliefLogic) Reset() {
+	l.advisory = COC
+	l.alerts = 0
+}
+
+// beliefNodes are the 3-point Gauss-Hermite nodes/weights used per
+// uncertain dimension.
+var beliefNodes = [3]float64{-1.7320508075688772, 0, 1.7320508075688772}
+var beliefWeights = [3]float64{1.0 / 6, 2.0 / 3, 1.0 / 6}
+
+// expectedQ integrates Q over the Gaussian belief centred at
+// (tau, h, dh0, dh1) using a tensor grid of Gauss-Hermite nodes over the
+// dimensions with non-zero sigma.
+func (l *BeliefLogic) expectedQ(tau, h, dh0, dh1 float64, ra, a Advisory) float64 {
+	s := l.sigmas
+	total := 0.0
+	for i, wi := range beliefWeights {
+		hh := h + beliefNodes[i]*s.H
+		if s.H == 0 && i != 1 {
+			continue
+		}
+		for j, wj := range beliefWeights {
+			tt := tau + beliefNodes[j]*s.Tau
+			if s.Tau == 0 && j != 1 {
+				continue
+			}
+			for k, wk := range beliefWeights {
+				rr := dh1 + beliefNodes[k]*s.Rate
+				if s.Rate == 0 && k != 1 {
+					continue
+				}
+				w := wi * wj * wk
+				total += w * l.table.QValue(tt, hh, dh0, rr, ra, a)
+			}
+		}
+	}
+	// Renormalize for skipped (zero-sigma) dimensions.
+	norm := 1.0
+	if s.H == 0 {
+		norm *= beliefWeights[1]
+	}
+	if s.Tau == 0 {
+		norm *= beliefWeights[1]
+	}
+	if s.Rate == 0 {
+		norm *= beliefWeights[1]
+	}
+	return total / norm
+}
+
+// Decide runs one QMDP decision cycle with the same inputs as
+// Logic.Decide.
+func (l *BeliefLogic) Decide(own uav.State, intrPos, intrVel geom.Vec3, mask SenseMask) Decision {
+	ownVel := own.VelVec()
+	h := intrPos.Z - own.Pos.Z
+	dh0 := ownVel.Z
+	dh1 := intrVel.Z
+	tau := effectiveTau(&l.table.cfg, own.Pos, ownVel, intrPos, intrVel, h, dh0, dh1)
+
+	prev := l.advisory
+	var next Advisory
+	if tau >= float64(l.table.Horizon()) {
+		if prev != COC && !clearOfConflict(own.Pos, ownVel, intrPos, intrVel, l.table.cfg.DMOD) {
+			next = prev
+		} else {
+			next = COC
+		}
+	} else {
+		best := COC
+		bestQ := math.Inf(-1)
+		found := false
+		for _, a := range Advisories() {
+			if !mask.Allows(a) {
+				continue
+			}
+			if q := l.expectedQ(tau, h, dh0, dh1, prev, a); q > bestQ {
+				bestQ = q
+				best = a
+				found = true
+			}
+		}
+		if !found {
+			best = COC
+		}
+		if best == COC && prev != COC &&
+			!clearOfConflict(own.Pos, ownVel, intrPos, intrVel, l.table.cfg.DMOD) {
+			best = prev
+		}
+		next = best
+	}
+	l.advisory = next
+
+	d := Decision{
+		Advisory: next,
+		Tau:      tau,
+		H:        h,
+		Alerting: next != COC,
+	}
+	if prev == COC && next != COC {
+		d.NewAlert = true
+		l.alerts++
+	}
+	if prev.Sense() != SenseNone && next.Sense() != SenseNone && prev.Sense() != next.Sense() {
+		d.Reversal = true
+	}
+	if next.Strengthened() && !prev.Strengthened() && prev.Sense() == next.Sense() {
+		d.Strengthening = true
+	}
+	return d
+}

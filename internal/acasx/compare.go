@@ -1,0 +1,82 @@
+package acasx
+
+import (
+	"fmt"
+	"math"
+
+	"acasxval/internal/stats"
+)
+
+// PolicyComparison quantifies how two logic tables differ — the measurement
+// the Fig. 1 model-revision loop needs: after "manual model revision" the
+// developer wants to know where the regenerated logic changed.
+type PolicyComparison struct {
+	// Samples is the number of compared state points.
+	Samples int
+	// Agreement is the fraction of points where both tables choose the
+	// same advisory.
+	Agreement float64
+	// SenseAgreement is the fraction where the advisory senses match
+	// (treating CL1500/SCL2500 as the same sense).
+	SenseAgreement float64
+	// MeanAbsQDiff is the mean |Q_a - Q_b| of the chosen actions.
+	MeanAbsQDiff float64
+	// AlertRateA / AlertRateB are the fractions of points where each table
+	// alerts (non-COC choice).
+	AlertRateA, AlertRateB float64
+}
+
+// ComparePolicies samples n random in-range states (uniform over tau, h and
+// rates, from the COC advisory state) and compares the two tables' choices.
+// The tables may have different grids; both are queried through their own
+// interpolation. Sampling is deterministic under seed.
+func ComparePolicies(a, b *Table, n int, seed uint64) (PolicyComparison, error) {
+	if n < 1 {
+		return PolicyComparison{}, fmt.Errorf("acasx: need n >= 1 samples")
+	}
+	rng := stats.NewRNG(seed)
+	// Sample within the intersection of the two state spaces.
+	hMax := math.Min(a.cfg.Grid.HMax, b.cfg.Grid.HMax)
+	rateMax := math.Min(a.cfg.Grid.RateMax, b.cfg.Grid.RateMax)
+	horizon := math.Min(float64(a.Horizon()), float64(b.Horizon()))
+
+	out := PolicyComparison{Samples: n}
+	agree, senseAgree := 0, 0
+	var qdiff stats.Accumulator
+	alertsA, alertsB := 0, 0
+	for i := 0; i < n; i++ {
+		tau := rng.Float64() * horizon
+		h := (rng.Float64()*2 - 1) * hMax
+		dh0 := (rng.Float64()*2 - 1) * rateMax
+		dh1 := (rng.Float64()*2 - 1) * rateMax
+		advA, _ := a.BestAdvisory(tau, h, dh0, dh1, COC, SenseMask{})
+		advB, _ := b.BestAdvisory(tau, h, dh0, dh1, COC, SenseMask{})
+		if advA == advB {
+			agree++
+		}
+		if advA.Sense() == advB.Sense() {
+			senseAgree++
+		}
+		if advA != COC {
+			alertsA++
+		}
+		if advB != COC {
+			alertsB++
+		}
+		qa := a.QValue(tau, h, dh0, dh1, COC, advA)
+		qb := b.QValue(tau, h, dh0, dh1, COC, advB)
+		qdiff.Add(math.Abs(qa - qb))
+	}
+	out.Agreement = float64(agree) / float64(n)
+	out.SenseAgreement = float64(senseAgree) / float64(n)
+	out.MeanAbsQDiff = qdiff.Mean()
+	out.AlertRateA = float64(alertsA) / float64(n)
+	out.AlertRateB = float64(alertsB) / float64(n)
+	return out, nil
+}
+
+// String implements fmt.Stringer.
+func (c PolicyComparison) String() string {
+	return fmt.Sprintf("agreement %.3f (sense %.3f) over %d states; alert rate %.3f vs %.3f; mean |dQ| %.1f",
+		c.Agreement, c.SenseAgreement, c.Samples, c.AlertRateA, c.AlertRateB, c.MeanAbsQDiff)
+}

@@ -1,0 +1,160 @@
+package acasx
+
+import (
+	"acasxval/internal/geom"
+	"acasxval/internal/interp"
+)
+
+// model is the offline MDP: the discretized state space over (h, dh0, dh1)
+// crossed with the discrete advisory state, plus the sigma-point dynamics
+// used to build successor distributions.
+type model struct {
+	cfg Config
+	// grid spans the three continuous dimensions (h, dh0, dh1).
+	grid *interp.Grid
+	// contSize is grid.Size(): the number of continuous-state vertices.
+	contSize int
+	// stateSize is contSize * NumAdvisories: one value-table slice.
+	stateSize int
+	// sigma are the 3-point Gauss-Hermite quadrature nodes/weights used to
+	// integrate white-noise accelerations: nodes at -sqrt(3), 0, +sqrt(3)
+	// standard deviations with weights 1/6, 2/3, 1/6.
+	sigmaNodes   [3]float64
+	sigmaWeights [3]float64
+}
+
+func newModel(cfg Config) (*model, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	g := cfg.Grid
+	grid, err := interp.NewGrid(
+		interp.Uniform(-g.HMax, g.HMax, g.NumH),
+		interp.Uniform(-g.RateMax, g.RateMax, g.NumRate),
+		interp.Uniform(-g.RateMax, g.RateMax, g.NumRate),
+	)
+	if err != nil {
+		return nil, err
+	}
+	m := &model{
+		cfg:       cfg,
+		grid:      grid,
+		contSize:  grid.Size(),
+		stateSize: grid.Size() * NumAdvisories,
+	}
+	const root3 = 1.7320508075688772
+	m.sigmaNodes = [3]float64{-root3, 0, root3}
+	m.sigmaWeights = [3]float64{1.0 / 6, 2.0 / 3, 1.0 / 6}
+	return m, nil
+}
+
+// stateIndex flattens (continuous vertex c, advisory ra) into a slice index.
+// Layout: ra-major blocks of contSize so that one advisory's continuous
+// table is contiguous (good locality for interpolation).
+func (m *model) stateIndex(c int, ra Advisory) int {
+	return int(ra)*m.contSize + c
+}
+
+// terminalValues builds V_0: the collision cost where |h| is inside the
+// NMAC threshold at tau = 0, uniformly across rates and advisory states.
+func (m *model) terminalValues() []float64 {
+	v := make([]float64, m.stateSize)
+	hAxis := m.grid.Axis(0)
+	n1 := m.grid.AxisLen(1)
+	n2 := m.grid.AxisLen(2)
+	for hi, h := range hAxis {
+		if h > m.cfg.Cost.NMACVertical || h < -m.cfg.Cost.NMACVertical {
+			continue
+		}
+		for ra := 0; ra < NumAdvisories; ra++ {
+			base := ra*m.contSize + hi*n1*n2
+			for j := 0; j < n1*n2; j++ {
+				v[base+j] = -m.cfg.Cost.Collision
+			}
+		}
+	}
+	return v
+}
+
+// eventCost returns the immediate cost (as negative reward) of choosing
+// advisory a while the active advisory is ra.
+func (m *model) eventCost(ra, a Advisory) float64 {
+	k := m.cfg.Cost
+	cost := 0.0
+	if a != COC {
+		cost += k.ActivePerStep
+		if ra == COC {
+			cost += k.NewAlert
+		} else {
+			if ra.Sense() != SenseNone && a.Sense() != SenseNone && ra.Sense() != a.Sense() {
+				cost += k.Reversal
+			}
+			if a.Strengthened() && !ra.Strengthened() && ra.Sense() == a.Sense() {
+				cost += k.Strengthen
+			}
+		}
+	}
+	return -cost
+}
+
+// ownRateNext returns the own-ship's next vertical rate under advisory a
+// with noise node w (in units of standard deviations).
+func (m *model) ownRateNext(dh0 float64, a Advisory, node float64) float64 {
+	d := m.cfg.Dynamics
+	var next float64
+	if a == COC {
+		next = dh0 + node*d.OwnAccelSigma*d.Dt
+	} else {
+		accel := d.Accel
+		if a.Strengthened() {
+			accel = d.StrengthenAccel
+		}
+		dv := geom.Clamp(a.TargetRate()-dh0, -accel*d.Dt, accel*d.Dt)
+		next = dh0 + dv + node*d.ComplianceSigma*d.Dt
+	}
+	return geom.Clamp(next, -m.cfg.Grid.RateMax, m.cfg.Grid.RateMax)
+}
+
+// intruderRateNext returns the intruder's next vertical rate with noise
+// node w.
+func (m *model) intruderRateNext(dh1 float64, node float64) float64 {
+	d := m.cfg.Dynamics
+	next := dh1 + node*d.IntruderAccelSigma*d.Dt
+	return geom.Clamp(next, -m.cfg.Grid.RateMax, m.cfg.Grid.RateMax)
+}
+
+// successor computes the deterministic next continuous state for one joint
+// sigma outcome: trapezoidal altitude integration with the old and new
+// rates.
+func (m *model) successor(h, dh0, dh1 float64, a Advisory, ownNode, intrNode float64) (hn, dh0n, dh1n float64) {
+	dt := m.cfg.Dynamics.Dt
+	dh0n = m.ownRateNext(dh0, a, ownNode)
+	dh1n = m.intruderRateNext(dh1, intrNode)
+	hn = h + 0.5*((dh1+dh1n)-(dh0+dh0n))*dt
+	hn = geom.Clamp(hn, -m.cfg.Grid.HMax, m.cfg.Grid.HMax)
+	return hn, dh0n, dh1n
+}
+
+// expectedNextValue integrates V(next) over the 3x3 joint sigma outcomes of
+// (own noise, intruder noise) for continuous state (h, dh0, dh1) under
+// advisory a, reading values from the prev slice at advisory-state a.
+// ws is a scratch buffer for interpolation weights.
+func (m *model) expectedNextValue(prev []float64, h, dh0, dh1 float64, a Advisory, ws []interp.VertexWeight) float64 {
+	base := int(a) * m.contSize
+	total := 0.0
+	var pt [3]float64
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			hn, dh0n, dh1n := m.successor(h, dh0, dh1, a, m.sigmaNodes[i], m.sigmaNodes[j])
+			pt[0], pt[1], pt[2] = hn, dh0n, dh1n
+			w := m.sigmaWeights[i] * m.sigmaWeights[j]
+			ws, _ = m.grid.WeightsAppend(ws[:0], pt[:])
+			v := 0.0
+			for _, vw := range ws {
+				v += vw.Weight * prev[base+vw.Flat]
+			}
+			total += w * v
+		}
+	}
+	return total
+}

@@ -1,0 +1,237 @@
+package acasx
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"time"
+
+	"acasxval/internal/interp"
+)
+
+// Table is the generated logic table: for every tau slice k = 0..Horizon,
+// the action values Q_k(h, dh0, dh1, ra, a). The table is the product
+// artifact of the model-based optimization process — what the paper calls
+// the "Logic Table" output of Fig. 1.
+type Table struct {
+	cfg Config
+	// q[k] has stateSize*NumAdvisories entries: Q values for slice k,
+	// indexed by (action-major) a*stateSize + stateIndex(c, ra).
+	q [][]float64
+	// grid spans (h, dh0, dh1); kept for online interpolation.
+	grid     *interp.Grid
+	contSize int
+	// stats
+	buildTime  time.Duration
+	sweepCount int
+}
+
+// BuildTable runs the offline optimization: backward induction over the
+// tau-indexed finite-horizon MDP. Cost: O(Horizon x states x actions x 9
+// sigma outcomes x 8 interpolation corners). With Config.Workers > 1 the
+// per-slice sweeps are parallelized over states; the result is identical to
+// the serial solve.
+func BuildTable(cfg Config) (*Table, error) {
+	start := time.Now()
+	m, err := newModel(cfg)
+	if err != nil {
+		return nil, err
+	}
+	horizon := cfg.Grid.Horizon
+	t := &Table{
+		cfg:      cfg,
+		q:        make([][]float64, horizon+1),
+		grid:     m.grid,
+		contSize: m.contSize,
+	}
+
+	// Slice 0: terminal values, identical for every action.
+	v := m.terminalValues()
+	q0 := make([]float64, m.stateSize*NumAdvisories)
+	for a := 0; a < NumAdvisories; a++ {
+		copy(q0[a*m.stateSize:(a+1)*m.stateSize], v)
+	}
+	t.q[0] = q0
+
+	workers := cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > runtime.NumCPU() {
+		workers = runtime.NumCPU()
+	}
+
+	prev := v
+	for k := 1; k <= horizon; k++ {
+		qk := make([]float64, m.stateSize*NumAdvisories)
+		next := make([]float64, m.stateSize)
+		sweepSlice(m, prev, qk, next, workers)
+		t.q[k] = qk
+		prev = next
+		t.sweepCount++
+	}
+	t.buildTime = time.Since(start)
+	return t, nil
+}
+
+// sweepSlice fills qk (Q values) and next (V values) for one tau slice from
+// the previous slice's V values.
+func sweepSlice(m *model, prev, qk, next []float64, workers int) {
+	n := m.contSize
+	run := func(lo, hi int) {
+		var ws [16]interp.VertexWeight
+		var pt []float64
+		for c := lo; c < hi; c++ {
+			pt = m.grid.Point(c)
+			h, dh0, dh1 := pt[0], pt[1], pt[2]
+			// The expected next value depends only on the chosen action,
+			// not on the current advisory state; compute once per action.
+			var ev [NumAdvisories]float64
+			for a := 0; a < NumAdvisories; a++ {
+				ev[a] = m.expectedNextValue(prev, h, dh0, dh1, Advisory(a), ws[:0])
+			}
+			for ra := 0; ra < NumAdvisories; ra++ {
+				s := m.stateIndex(c, Advisory(ra))
+				best := math.Inf(-1)
+				for a := 0; a < NumAdvisories; a++ {
+					q := m.eventCost(Advisory(ra), Advisory(a)) + ev[a]
+					qk[a*m.stateSize+s] = q
+					if q > best {
+						best = q
+					}
+				}
+				next[s] = best
+			}
+		}
+	}
+	if workers <= 1 {
+		run(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := min(lo+chunk, n)
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			run(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// Config returns the configuration the table was built with.
+func (t *Table) Config() Config { return t.cfg }
+
+// Horizon returns the number of tau slices (excluding slice 0).
+func (t *Table) Horizon() int { return len(t.q) - 1 }
+
+// BuildTime returns how long the offline solve took (zero for loaded
+// tables).
+func (t *Table) BuildTime() time.Duration { return t.buildTime }
+
+// NumEntries returns the total number of stored Q values.
+func (t *Table) NumEntries() int {
+	total := 0
+	for _, slice := range t.q {
+		total += len(slice)
+	}
+	return total
+}
+
+// stateSize returns the per-slice V-table size.
+func (t *Table) stateSize() int { return t.contSize * NumAdvisories }
+
+// qValue interpolates Q_k(h, dh0, dh1, ra, a) at integer slice k.
+func (t *Table) qValue(k int, h, dh0, dh1 float64, ra, a Advisory) float64 {
+	var buf [16]interp.VertexWeight
+	pt := [3]float64{h, dh0, dh1}
+	ws, _ := t.grid.WeightsAppend(buf[:0], pt[:])
+	base := int(a)*t.stateSize() + int(ra)*t.contSize
+	v := 0.0
+	for _, vw := range ws {
+		v += vw.Weight * t.q[k][base+vw.Flat]
+	}
+	return v
+}
+
+// QValue interpolates the action value at continuous tau: linear blending
+// between the bracketing slices (clamped to the horizon).
+func (t *Table) QValue(tau, h, dh0, dh1 float64, ra, a Advisory) float64 {
+	if !ra.Valid() || !a.Valid() {
+		return math.Inf(-1)
+	}
+	if tau < 0 {
+		tau = 0
+	}
+	hmax := float64(t.Horizon())
+	if tau >= hmax {
+		tau = hmax
+	}
+	lo := int(tau)
+	frac := tau - float64(lo)
+	v := t.qValue(lo, h, dh0, dh1, ra, a)
+	if frac > 0 && lo+1 <= t.Horizon() {
+		v = v*(1-frac) + frac*t.qValue(lo+1, h, dh0, dh1, ra, a)
+	}
+	return v
+}
+
+// BestAdvisory returns the advisory maximizing the interpolated Q value at
+// the given state, considering only advisories allowed by the mask.
+// The boolean is false when the mask bans every action (cannot happen with
+// a default mask, which always allows COC).
+func (t *Table) BestAdvisory(tau, h, dh0, dh1 float64, ra Advisory, mask SenseMask) (Advisory, bool) {
+	best := COC
+	bestQ := math.Inf(-1)
+	found := false
+	for _, a := range Advisories() {
+		if !mask.Allows(a) {
+			continue
+		}
+		q := t.QValue(tau, h, dh0, dh1, ra, a)
+		if q > bestQ {
+			bestQ = q
+			best = a
+			found = true
+		}
+	}
+	return best, found
+}
+
+// Value returns max_a Q at the state (the optimal state value).
+func (t *Table) Value(tau, h, dh0, dh1 float64, ra Advisory) float64 {
+	best := math.Inf(-1)
+	for _, a := range Advisories() {
+		if q := t.QValue(tau, h, dh0, dh1, ra, a); q > best {
+			best = q
+		}
+	}
+	return best
+}
+
+// validateLoaded re-derives internal geometry after deserialization.
+func (t *Table) validateLoaded() error {
+	m, err := newModel(t.cfg)
+	if err != nil {
+		return fmt.Errorf("acasx: loaded table has invalid config: %w", err)
+	}
+	if len(t.q) != t.cfg.Grid.Horizon+1 {
+		return fmt.Errorf("acasx: loaded table has %d slices, config wants %d", len(t.q), t.cfg.Grid.Horizon+1)
+	}
+	want := m.stateSize * NumAdvisories
+	for k, slice := range t.q {
+		if len(slice) != want {
+			return fmt.Errorf("acasx: slice %d has %d entries, want %d", k, len(slice), want)
+		}
+	}
+	t.grid = m.grid
+	t.contSize = m.contSize
+	return nil
+}

@@ -1,0 +1,79 @@
+// Package cli holds the small helpers shared by the command-line tools in
+// cmd/: logic-table acquisition (load from disk or build on the fly) and
+// system-factory construction by name.
+package cli
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+
+	"acasxval/internal/acasx"
+	"acasxval/internal/sim"
+	"acasxval/internal/svo"
+)
+
+// LoadOrBuildTable loads the logic table from path when it exists;
+// otherwise it builds one (full or coarse resolution) and, when path is
+// non-empty, saves it there for reuse.
+func LoadOrBuildTable(path string, coarse bool, workers int) (*acasx.Table, error) {
+	if path != "" {
+		if _, err := os.Stat(path); err == nil {
+			table, err := acasx.LoadTable(path)
+			if err != nil {
+				return nil, fmt.Errorf("loading %s: %w", path, err)
+			}
+			return table, nil
+		}
+	}
+	cfg := acasx.DefaultConfig()
+	if coarse {
+		cfg = acasx.CoarseConfig()
+	}
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	cfg.Workers = workers
+	table, err := acasx.BuildTable(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if path != "" {
+		if err := table.Save(path); err != nil {
+			return nil, err
+		}
+	}
+	return table, nil
+}
+
+// SystemFactory builds the named system pair: "acasx", "svo" or "none".
+// The table is required only for "acasx".
+func SystemFactory(name string, table *acasx.Table) (func() (sim.System, sim.System), error) {
+	switch name {
+	case "acasx":
+		if table == nil {
+			return nil, fmt.Errorf("system %q needs a logic table", name)
+		}
+		return func() (sim.System, sim.System) {
+			return sim.NewACASXU(table), sim.NewACASXU(table)
+		}, nil
+	case "svo":
+		return func() (sim.System, sim.System) {
+			a, err := svo.New(svo.DefaultConfig())
+			if err != nil {
+				panic(err) // default config is statically valid
+			}
+			b, err := svo.New(svo.DefaultConfig())
+			if err != nil {
+				panic(err)
+			}
+			return a, b
+		}, nil
+	case "none":
+		return func() (sim.System, sim.System) {
+			return sim.NoSystem{}, sim.NoSystem{}
+		}, nil
+	default:
+		return nil, fmt.Errorf("unknown system %q (want acasx, svo or none)", name)
+	}
+}

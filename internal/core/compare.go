@@ -1,0 +1,111 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"acasxval/internal/ga"
+	"acasxval/internal/stats"
+)
+
+// ComparisonResult aggregates a multi-seed GA-versus-random-search
+// comparison at equal evaluation budget — the quantitative form of the
+// paper's section V claim that the GA "can find some cases that a
+// random-search-based approach took a long time to find".
+type ComparisonResult struct {
+	// Seeds is the number of independent repetitions.
+	Seeds int
+	// Budget is the evaluation budget per arm per seed.
+	Budget int
+	// Threshold is the fitness defining a "found case".
+	Threshold float64
+	// GAFirst / RandomFirst are the per-seed evaluation counts to the
+	// first case (seeds that never reach it are excluded).
+	GAFirst, RandomFirst []float64
+	// GAHits / RandomHits are the per-seed counts of evaluations at or
+	// above the threshold.
+	GAHits, RandomHits []float64
+	// GABest / RandomBest are the per-seed best fitness values.
+	GABest, RandomBest []float64
+}
+
+// MedianFirst returns the median evaluations-to-first-case of each arm
+// (-1 when an arm never reached the threshold on any seed).
+func (c ComparisonResult) MedianFirst() (gaFirst, rndFirst float64) {
+	gaFirst, rndFirst = -1, -1
+	if len(c.GAFirst) > 0 {
+		gaFirst = stats.Median(c.GAFirst)
+	}
+	if len(c.RandomFirst) > 0 {
+		rndFirst = stats.Median(c.RandomFirst)
+	}
+	return gaFirst, rndFirst
+}
+
+// MedianHits returns the median number of found cases per budget for each
+// arm.
+func (c ComparisonResult) MedianHits() (gaHits, rndHits float64) {
+	return stats.Median(c.GAHits), stats.Median(c.RandomHits)
+}
+
+// ConcentrationGain is the ratio of GA to random median hits: how many
+// times more challenging encounters the GA surfaces per simulation budget.
+// Returns +Inf when random finds none but the GA does, 1 when both find
+// none.
+func (c ComparisonResult) ConcentrationGain() float64 {
+	gaHits, rndHits := c.MedianHits()
+	if rndHits == 0 {
+		if gaHits == 0 {
+			return 1
+		}
+		return math.Inf(1)
+	}
+	return gaHits / rndHits
+}
+
+// CompareSearch runs the GA and the uniform random baseline over `seeds`
+// independent repetitions at equal budget and aggregates the comparison.
+// cfg.GA.Seed seeds the first repetition; subsequent repetitions increment
+// it.
+func CompareSearch(cfg SearchConfig, factory SystemFactory, seeds int, threshold float64) (*ComparisonResult, error) {
+	if seeds < 1 {
+		return nil, fmt.Errorf("core: seeds %d < 1", seeds)
+	}
+	if !cfg.GA.RecordEvaluations {
+		cfg.GA.RecordEvaluations = true
+	}
+	budget := cfg.GA.PopulationSize * cfg.GA.Generations
+	out := &ComparisonResult{Seeds: seeds, Budget: budget, Threshold: threshold}
+	countAbove := func(evals []ga.Evaluation) int {
+		n := 0
+		for _, e := range evals {
+			if e.Fitness >= threshold {
+				n++
+			}
+		}
+		return n
+	}
+	baseSeed := cfg.GA.Seed
+	for s := 0; s < seeds; s++ {
+		cfg.GA.Seed = baseSeed + uint64(s)
+		gaRes, err := Search(cfg, factory, 1, nil)
+		if err != nil {
+			return nil, err
+		}
+		rnd, err := RandomSearch(cfg, factory, budget, true)
+		if err != nil {
+			return nil, err
+		}
+		if at := EvaluationsToReach(gaRes.Evaluations, threshold); at > 0 {
+			out.GAFirst = append(out.GAFirst, float64(at))
+		}
+		if at := EvaluationsToReach(rnd.Evaluations, threshold); at > 0 {
+			out.RandomFirst = append(out.RandomFirst, float64(at))
+		}
+		out.GAHits = append(out.GAHits, float64(countAbove(gaRes.Evaluations)))
+		out.RandomHits = append(out.RandomHits, float64(countAbove(rnd.Evaluations)))
+		out.GABest = append(out.GABest, gaRes.Best.Fitness)
+		out.RandomBest = append(out.RandomBest, rnd.Best.Fitness)
+	}
+	return out, nil
+}

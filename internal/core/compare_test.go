@@ -1,0 +1,67 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCompareSearchValidation(t *testing.T) {
+	cfg := DefaultSearchConfig()
+	if _, err := CompareSearch(cfg, Unequipped, 0, 9000); err == nil {
+		t.Error("zero seeds accepted")
+	}
+}
+
+func TestCompareSearchAgainstUnequipped(t *testing.T) {
+	cfg := DefaultSearchConfig()
+	cfg.GA.PopulationSize = 8
+	cfg.GA.Generations = 3
+	cfg.GA.Seed = 5
+	cfg.Fitness.SimsPerEncounter = 4
+	res, err := CompareSearch(cfg, Unequipped, 2, 9000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Seeds != 2 || res.Budget != 24 {
+		t.Errorf("seeds/budget = %d/%d", res.Seeds, res.Budget)
+	}
+	if len(res.GAHits) != 2 || len(res.RandomHits) != 2 {
+		t.Fatalf("hit records missing: %v / %v", res.GAHits, res.RandomHits)
+	}
+	// Against unequipped aircraft collisions abound: both arms find cases.
+	gaFirst, rndFirst := res.MedianFirst()
+	if gaFirst <= 0 || rndFirst <= 0 {
+		t.Errorf("first-case medians = %v/%v, want positive", gaFirst, rndFirst)
+	}
+	gaHits, rndHits := res.MedianHits()
+	if gaHits <= 0 || rndHits <= 0 {
+		t.Errorf("hit medians = %v/%v, want positive", gaHits, rndHits)
+	}
+	if g := res.ConcentrationGain(); g <= 0 || math.IsNaN(g) {
+		t.Errorf("concentration gain = %v", g)
+	}
+	for _, b := range res.GABest {
+		if b < 9000 {
+			t.Errorf("GA best %v below threshold against unequipped", b)
+		}
+	}
+}
+
+func TestComparisonResultEdgeCases(t *testing.T) {
+	empty := ComparisonResult{}
+	gaFirst, rndFirst := empty.MedianFirst()
+	if gaFirst != -1 || rndFirst != -1 {
+		t.Errorf("empty medians = %v/%v, want -1/-1", gaFirst, rndFirst)
+	}
+	if g := empty.ConcentrationGain(); g != 1 {
+		t.Errorf("empty gain = %v, want 1", g)
+	}
+	gaOnly := ComparisonResult{GAHits: []float64{5}, RandomHits: []float64{0}}
+	if g := gaOnly.ConcentrationGain(); !math.IsInf(g, 1) {
+		t.Errorf("gain with zero random hits = %v, want +Inf", g)
+	}
+	both := ComparisonResult{GAHits: []float64{30}, RandomHits: []float64{10}}
+	if g := both.ConcentrationGain(); g != 3 {
+		t.Errorf("gain = %v, want 3", g)
+	}
+}

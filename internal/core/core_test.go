@@ -1,0 +1,364 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"acasxval/internal/acasx"
+	"acasxval/internal/encounter"
+	"acasxval/internal/ga"
+	"acasxval/internal/sim"
+)
+
+var (
+	tableOnce sync.Once
+	testTable *acasx.Table
+	tableErr  error
+)
+
+func acasFactory(tb testing.TB) SystemFactory {
+	tb.Helper()
+	tableOnce.Do(func() {
+		cfg := acasx.DefaultConfig()
+		cfg.Workers = 8
+		testTable, tableErr = acasx.BuildTable(cfg)
+	})
+	if tableErr != nil {
+		tb.Fatal(tableErr)
+	}
+	return func() (sim.System, sim.System) {
+		return sim.NewACASXU(testTable), sim.NewACASXU(testTable)
+	}
+}
+
+// quickFitness keeps unit tests fast: few sims per encounter.
+func quickFitness() FitnessConfig {
+	cfg := DefaultFitnessConfig()
+	cfg.SimsPerEncounter = 8
+	return cfg
+}
+
+func TestFitnessConfigValidation(t *testing.T) {
+	if err := DefaultFitnessConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultFitnessConfig()
+	bad.SimsPerEncounter = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero sims accepted")
+	}
+	bad2 := DefaultFitnessConfig()
+	bad2.CollisionGain = 0
+	if err := bad2.Validate(); err == nil {
+		t.Error("zero gain accepted")
+	}
+	bad3 := DefaultFitnessConfig()
+	bad3.Run.Dt = 0
+	if err := bad3.Validate(); err == nil {
+		t.Error("bad run config accepted")
+	}
+}
+
+func TestNewEvaluatorValidation(t *testing.T) {
+	if _, err := NewEvaluator(encounter.DefaultRanges(), nil, quickFitness()); err == nil {
+		t.Error("nil factory accepted")
+	}
+	badRanges := encounter.DefaultRanges()
+	badRanges.TimeToCPA = encounter.Range{Min: 5, Max: 1}
+	if _, err := NewEvaluator(badRanges, Unequipped, quickFitness()); err == nil {
+		t.Error("bad ranges accepted")
+	}
+	bad := quickFitness()
+	bad.SimsPerEncounter = -1
+	if _, err := NewEvaluator(encounter.DefaultRanges(), Unequipped, bad); err == nil {
+		t.Error("bad fitness config accepted")
+	}
+}
+
+// TestUnequippedHeadOnFitnessNearMax: without avoidance the head-on preset
+// collides in (almost) every run, so the fitness approaches the collision
+// gain.
+func TestUnequippedHeadOnFitnessNearMax(t *testing.T) {
+	ev, err := NewEvaluator(encounter.DefaultRanges(), Unequipped, quickFitness())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ev.EvaluateEncounter(encounter.PresetHeadOn(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NMACCount < out.Runs-1 {
+		t.Errorf("unequipped head-on NMACs: %d/%d", out.NMACCount, out.Runs)
+	}
+	if out.Fitness < 9000 {
+		t.Errorf("fitness = %v, want ~10000", out.Fitness)
+	}
+	if out.AlertRate != 0 {
+		t.Errorf("unequipped aircraft alerted (rate %v)", out.AlertRate)
+	}
+}
+
+// TestEquippedFitnessMuchLower: the working system drives the fitness far
+// down on the same encounter — the signal the GA climbs against.
+func TestEquippedFitnessMuchLower(t *testing.T) {
+	factory := acasFactory(t)
+	ev, err := NewEvaluator(encounter.DefaultRanges(), factory, quickFitness())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ev.EvaluateEncounter(encounter.PresetHeadOn(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NMACCount != 0 {
+		t.Errorf("equipped head-on NMACs: %d/%d", out.NMACCount, out.Runs)
+	}
+	if out.Fitness > 500 {
+		t.Errorf("equipped fitness = %v, want small", out.Fitness)
+	}
+	if out.AlertRate == 0 {
+		t.Error("equipped system never alerted")
+	}
+	if out.NMACRate() != 0 {
+		t.Error("NMACRate inconsistent")
+	}
+}
+
+// TestTailApproachBeatsHeadOnFitness reproduces the paper's core finding at
+// unit-test scale: the tail-approach preset scores (much) higher fitness
+// against the equipped system than the head-on preset.
+func TestTailApproachBeatsHeadOnFitness(t *testing.T) {
+	factory := acasFactory(t)
+	cfg := quickFitness()
+	cfg.SimsPerEncounter = 20
+	ev, err := NewEvaluator(encounter.DefaultRanges(), factory, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	headOn, err := ev.EvaluateEncounter(encounter.PresetHeadOn(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tail, err := ev.EvaluateEncounter(encounter.PresetTailApproach(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tail.Fitness <= headOn.Fitness {
+		t.Errorf("tail fitness %v <= head-on fitness %v", tail.Fitness, headOn.Fitness)
+	}
+	if tail.NMACRate() <= headOn.NMACRate() {
+		t.Errorf("tail NMAC rate %v <= head-on %v", tail.NMACRate(), headOn.NMACRate())
+	}
+}
+
+func TestEvaluateDeterministicPerSeed(t *testing.T) {
+	ev, err := NewEvaluator(encounter.DefaultRanges(), Unequipped, quickFitness())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := encounter.PresetCrossing().Vector()
+	ctx := ga.EvalContext{Seed: 77}
+	a := ev.Evaluate(g, ctx)
+	b := ev.Evaluate(g, ctx)
+	if a != b {
+		t.Errorf("same seed, different fitness: %v vs %v", a, b)
+	}
+}
+
+func TestEvaluateBadGenome(t *testing.T) {
+	ev, err := NewEvaluator(encounter.DefaultRanges(), Unequipped, quickFitness())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ev.Evaluate([]float64{1, 2}, ga.EvalContext{}); got != 0 {
+		t.Errorf("bad genome fitness = %v, want 0", got)
+	}
+}
+
+// TestSearchPipeline runs a miniature end-to-end GA search against the
+// unequipped baseline (cheap and guaranteed to find collisions) and checks
+// the structure of the result.
+func TestSearchPipeline(t *testing.T) {
+	cfg := DefaultSearchConfig()
+	cfg.GA.PopulationSize = 10
+	cfg.GA.Generations = 3
+	cfg.GA.Seed = 42
+	cfg.Fitness.SimsPerEncounter = 4
+	var gens []int
+	res, err := Search(cfg, Unequipped, 5, func(gs ga.GenerationStats) {
+		gens = append(gens, gs.Generation)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumEvaluations != 30 {
+		t.Errorf("evaluations = %d, want 30", res.NumEvaluations)
+	}
+	if len(res.PerGeneration) != 3 {
+		t.Errorf("per-generation stats = %d, want 3", len(res.PerGeneration))
+	}
+	if len(res.Top) != 5 {
+		t.Errorf("top list = %d, want 5", len(res.Top))
+	}
+	// Top list is sorted descending.
+	for i := 1; i < len(res.Top); i++ {
+		if res.Top[i].Fitness > res.Top[i-1].Fitness {
+			t.Fatal("top list not sorted")
+		}
+	}
+	if res.Best.Fitness != res.Top[0].Fitness {
+		t.Error("best does not match top of list")
+	}
+	if len(gens) != 3 {
+		t.Errorf("observer called %d times", len(gens))
+	}
+	if res.Elapsed <= 0 {
+		t.Error("elapsed not recorded")
+	}
+	// Against unequipped aircraft the search space is full of collisions:
+	// the best must be near the maximum gain.
+	if res.Best.Fitness < 5000 {
+		t.Errorf("best fitness %v suspiciously low for unequipped search", res.Best.Fitness)
+	}
+}
+
+func TestRandomSearch(t *testing.T) {
+	cfg := DefaultSearchConfig()
+	cfg.GA.Seed = 7
+	cfg.Fitness.SimsPerEncounter = 4
+	res, err := RandomSearch(cfg, Unequipped, 12, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumEvaluations != 12 || len(res.Evaluations) != 12 {
+		t.Errorf("evaluations = %d/%d, want 12", res.NumEvaluations, len(res.Evaluations))
+	}
+	if res.Best.Fitness <= 0 {
+		t.Errorf("best fitness = %v", res.Best.Fitness)
+	}
+	if _, err := RandomSearch(cfg, Unequipped, 0, false); err == nil {
+		t.Error("n=0 accepted")
+	}
+	// Unrecorded mode keeps no log.
+	res2, err := RandomSearch(cfg, Unequipped, 3, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Evaluations != nil {
+		t.Error("unrecorded search kept a log")
+	}
+}
+
+func TestEvaluationsToReach(t *testing.T) {
+	evals := []ga.Evaluation{
+		{Fitness: 10}, {Fitness: 50}, {Fitness: 200}, {Fitness: 100},
+	}
+	if got := EvaluationsToReach(evals, 100); got != 3 {
+		t.Errorf("EvaluationsToReach = %d, want 3", got)
+	}
+	if got := EvaluationsToReach(evals, 1e9); got != -1 {
+		t.Errorf("unreachable threshold = %d, want -1", got)
+	}
+	if got := EvaluationsToReach(nil, 0); got != -1 {
+		t.Errorf("empty log = %d, want -1", got)
+	}
+}
+
+func TestTallyAndDominant(t *testing.T) {
+	found := []Found{
+		{Geometry: encounter.Geometry{Category: encounter.TailApproach, VerticallyOpposed: true}},
+		{Geometry: encounter.Geometry{Category: encounter.TailApproach}},
+		{Geometry: encounter.Geometry{Category: encounter.HeadOn}},
+		{Geometry: encounter.Geometry{Category: encounter.Crossing}},
+	}
+	tally := Tally(found)
+	if tally.TailApproach != 2 || tally.HeadOn != 1 || tally.Crossing != 1 {
+		t.Errorf("tally = %+v", tally)
+	}
+	if tally.VerticallyOpposed != 1 {
+		t.Errorf("vertically opposed = %d", tally.VerticallyOpposed)
+	}
+	if tally.Dominant() != encounter.TailApproach {
+		t.Errorf("dominant = %v", tally.Dominant())
+	}
+	if tally.String() == "" {
+		t.Error("empty tally string")
+	}
+	if got := Tally(nil).Total; got != 0 {
+		t.Errorf("empty tally total = %d", got)
+	}
+}
+
+func TestClusterEvaluations(t *testing.T) {
+	ranges := encounter.DefaultRanges()
+	// Two well-separated synthetic groups: low-speed and high-speed
+	// encounters.
+	var evals []ga.Evaluation
+	mk := func(gso float64, fit float64) ga.Evaluation {
+		p := encounter.PresetHeadOn()
+		p.OwnGroundSpeed = gso
+		p.IntruderGroundSpeed = gso
+		return ga.Evaluation{Genome: p.Vector(), Fitness: fit}
+	}
+	for i := 0; i < 10; i++ {
+		evals = append(evals, mk(22+float64(i)*0.2, 9000))
+		evals = append(evals, mk(57+float64(i)*0.2, 5000))
+	}
+	clusters, err := ClusterEvaluations(ranges, evals, 2, 1000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clusters) != 2 {
+		t.Fatalf("got %d clusters, want 2", len(clusters))
+	}
+	// Sorted by mean fitness: first cluster is the 9000 group (slow).
+	if clusters[0].MeanFitness < clusters[1].MeanFitness {
+		t.Error("clusters not sorted by fitness")
+	}
+	slow := clusters[0].Center.OwnGroundSpeed
+	fast := clusters[1].Center.OwnGroundSpeed
+	if math.Abs(slow-23) > 3 || math.Abs(fast-58) > 3 {
+		t.Errorf("cluster centers %v / %v, want ~23 / ~58", slow, fast)
+	}
+	if len(clusters[0].Members)+len(clusters[1].Members) != 20 {
+		t.Error("members lost")
+	}
+}
+
+func TestClusterEvaluationsErrors(t *testing.T) {
+	ranges := encounter.DefaultRanges()
+	if _, err := ClusterEvaluations(ranges, nil, 0, 0, 1); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := ClusterEvaluations(ranges, nil, 2, 0, 1); err == nil {
+		t.Error("empty evaluations accepted")
+	}
+	evals := []ga.Evaluation{{Genome: encounter.PresetHeadOn().Vector(), Fitness: 10}}
+	if _, err := ClusterEvaluations(ranges, evals, 2, 100, 1); err == nil {
+		t.Error("all-below-threshold accepted")
+	}
+	// k larger than points: clamps.
+	clusters, err := ClusterEvaluations(ranges, evals, 5, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clusters) != 1 {
+		t.Errorf("got %d clusters, want 1", len(clusters))
+	}
+}
+
+func TestReportTop(t *testing.T) {
+	found := []Found{{
+		Params:  encounter.PresetTailApproach(),
+		Fitness: 9500,
+		Geometry: encounter.Geometry{
+			Category:          encounter.TailApproach,
+			VerticallyOpposed: true,
+		},
+	}}
+	out := ReportTop(found)
+	if out == "" || len(out) < 20 {
+		t.Errorf("report too short: %q", out)
+	}
+}

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"acasxval/internal/encounter"
+)
+
+// foundCSVHeader is the column layout of the found-encounter CSV format:
+// fitness, generation, index, then the nine encounter parameters in genome
+// order.
+var foundCSVHeader = []string{
+	"fitness", "generation", "index",
+	"own_gs", "own_vs", "t_cpa", "r", "theta", "y", "intr_gs", "intr_psi", "intr_vs",
+}
+
+// WriteFound persists discovered encounters as CSV so a search's output can
+// be archived, diffed between model revisions, and replayed by the
+// simulation tools.
+func WriteFound(w io.Writer, found []Found) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(foundCSVHeader); err != nil {
+		return fmt.Errorf("core: write found: %w", err)
+	}
+	f := func(x float64) string { return strconv.FormatFloat(x, 'g', 17, 64) }
+	for _, fd := range found {
+		row := make([]string, 0, len(foundCSVHeader))
+		row = append(row, f(fd.Fitness), strconv.Itoa(fd.Generation), strconv.Itoa(fd.Index))
+		for _, g := range fd.Params.Vector() {
+			row = append(row, f(g))
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("core: write found: %w", err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("core: write found: %w", err)
+	}
+	return nil
+}
+
+// ReadFound parses a CSV produced by WriteFound, re-deriving the geometry
+// classification of every encounter.
+func ReadFound(r io.Reader) ([]Found, error) {
+	cr := csv.NewReader(r)
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("core: read found: %w", err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("core: read found: empty file")
+	}
+	if len(records[0]) != len(foundCSVHeader) || records[0][0] != foundCSVHeader[0] {
+		return nil, fmt.Errorf("core: read found: unexpected header %v", records[0])
+	}
+	out := make([]Found, 0, len(records)-1)
+	for line, rec := range records[1:] {
+		if len(rec) != len(foundCSVHeader) {
+			return nil, fmt.Errorf("core: read found: row %d has %d fields", line+2, len(rec))
+		}
+		fitness, err := strconv.ParseFloat(rec[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("core: read found: row %d fitness: %w", line+2, err)
+		}
+		gen, err := strconv.Atoi(rec[1])
+		if err != nil {
+			return nil, fmt.Errorf("core: read found: row %d generation: %w", line+2, err)
+		}
+		idx, err := strconv.Atoi(rec[2])
+		if err != nil {
+			return nil, fmt.Errorf("core: read found: row %d index: %w", line+2, err)
+		}
+		genome := make([]float64, encounter.NumParams)
+		for i := range genome {
+			genome[i], err = strconv.ParseFloat(rec[3+i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("core: read found: row %d gene %d: %w", line+2, i, err)
+			}
+		}
+		p, err := encounter.FromVector(genome)
+		if err != nil {
+			return nil, fmt.Errorf("core: read found: row %d: %w", line+2, err)
+		}
+		out = append(out, Found{
+			Params:     p,
+			Fitness:    fitness,
+			Geometry:   encounter.Classify(p),
+			Generation: gen,
+			Index:      idx,
+		})
+	}
+	return out, nil
+}

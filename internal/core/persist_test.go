@@ -1,0 +1,90 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"acasxval/internal/encounter"
+)
+
+func TestFoundRoundTrip(t *testing.T) {
+	found := []Found{
+		{
+			Params:     encounter.PresetTailApproach(),
+			Fitness:    9876.5,
+			Geometry:   encounter.Classify(encounter.PresetTailApproach()),
+			Generation: 3,
+			Index:      42,
+		},
+		{
+			Params:     encounter.PresetHeadOn(),
+			Fitness:    120.25,
+			Geometry:   encounter.Classify(encounter.PresetHeadOn()),
+			Generation: 0,
+			Index:      7,
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteFound(&buf, found); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFound(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(found) {
+		t.Fatalf("got %d entries, want %d", len(back), len(found))
+	}
+	for i := range found {
+		if back[i].Params != found[i].Params {
+			t.Errorf("entry %d params: %v != %v", i, back[i].Params, found[i].Params)
+		}
+		if back[i].Fitness != found[i].Fitness {
+			t.Errorf("entry %d fitness: %v != %v", i, back[i].Fitness, found[i].Fitness)
+		}
+		if back[i].Generation != found[i].Generation || back[i].Index != found[i].Index {
+			t.Errorf("entry %d provenance mismatch", i)
+		}
+		// Geometry is re-derived.
+		if back[i].Geometry.Category != found[i].Geometry.Category {
+			t.Errorf("entry %d category: %v != %v", i, back[i].Geometry.Category, found[i].Geometry.Category)
+		}
+	}
+}
+
+func TestWriteFoundEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFound(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Header-only file round-trips to an empty list.
+	back, err := ReadFound(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 0 {
+		t.Errorf("got %d entries from empty write", len(back))
+	}
+}
+
+func TestReadFoundErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"empty", ""},
+		{"bad header", "a,b,c\n"},
+		{"bad fitness", strings.Join(foundCSVHeader, ",") + "\nx,0,0,1,2,3,4,5,6,7,8,9\n"},
+		{"bad generation", strings.Join(foundCSVHeader, ",") + "\n1,x,0,1,2,3,4,5,6,7,8,9\n"},
+		{"bad index", strings.Join(foundCSVHeader, ",") + "\n1,0,x,1,2,3,4,5,6,7,8,9\n"},
+		{"bad gene", strings.Join(foundCSVHeader, ",") + "\n1,0,0,x,2,3,4,5,6,7,8,9\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ReadFound(strings.NewReader(tc.body)); err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+}

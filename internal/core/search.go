@@ -1,0 +1,196 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"acasxval/internal/encounter"
+	"acasxval/internal/ga"
+	"acasxval/internal/stats"
+)
+
+// SearchConfig assembles a full challenging-situation search.
+type SearchConfig struct {
+	// Ranges is the encounter search space.
+	Ranges encounter.Ranges
+	// GA configures the evolutionary search (paper: population 200,
+	// 5 generations).
+	GA ga.Params
+	// Fitness configures the per-encounter simulation batch.
+	Fitness FitnessConfig
+}
+
+// DefaultSearchConfig reproduces the paper's section VII experiment.
+func DefaultSearchConfig() SearchConfig {
+	return SearchConfig{
+		Ranges:  encounter.DefaultRanges(),
+		GA:      ga.DefaultParams(),
+		Fitness: DefaultFitnessConfig(),
+	}
+}
+
+// Found is one discovered encounter with its evaluation.
+type Found struct {
+	Params  encounter.Params
+	Fitness float64
+	// Geometry classifies the encounter (head-on / tail approach /
+	// crossing), the analysis step of section VII.
+	Geometry encounter.Geometry
+	// Generation and Index locate the discovery in the search.
+	Generation int
+	Index      int
+}
+
+// SearchResult is the outcome of a GA search.
+type SearchResult struct {
+	// Best is the highest-fitness encounter found.
+	Best Found
+	// Top holds the discovered encounters ordered by decreasing fitness
+	// (up to the requested count).
+	Top []Found
+	// PerGeneration carries the GA's per-generation statistics (the data
+	// behind Fig. 6's upward trend).
+	PerGeneration []ga.GenerationStats
+	// Evaluations is the full evaluation log in evaluation order (the
+	// scatter Fig. 6 plots), present when GA.RecordEvaluations is set.
+	Evaluations []ga.Evaluation
+	// NumEvaluations counts encounter evaluations (each costing
+	// SimsPerEncounter simulations).
+	NumEvaluations int
+	// Elapsed is the wall-clock search time (the paper reports ~300 s for
+	// the section VII workload).
+	Elapsed time.Duration
+}
+
+// Search runs the GA-based challenging situation search. The observer (may
+// be nil) receives per-generation progress.
+func Search(cfg SearchConfig, factory SystemFactory, topK int, obs ga.Observer) (*SearchResult, error) {
+	ev, err := NewEvaluator(cfg.Ranges, factory, cfg.Fitness)
+	if err != nil {
+		return nil, err
+	}
+	lo, hi := cfg.Ranges.Bounds()
+	bounds, err := ga.NewBounds(lo, hi)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	res, err := ga.Run(ev, bounds, cfg.GA, obs)
+	if err != nil {
+		return nil, err
+	}
+	out := &SearchResult{
+		PerGeneration:  res.PerGeneration,
+		Evaluations:    res.Evaluations,
+		NumEvaluations: res.NumEvaluations,
+		Elapsed:        time.Since(start),
+	}
+	if res.Best.Evaluated {
+		p, err := encounter.FromVector(res.Best.Genome)
+		if err != nil {
+			return nil, fmt.Errorf("core: best genome corrupt: %w", err)
+		}
+		p = cfg.Ranges.Clamp(p)
+		out.Best = Found{
+			Params:   p,
+			Fitness:  res.Best.Fitness,
+			Geometry: encounter.Classify(p),
+		}
+	}
+	out.Top = topEncounters(cfg.Ranges, res.Evaluations, topK)
+	return out, nil
+}
+
+// topEncounters decodes and ranks the highest-fitness evaluations.
+func topEncounters(ranges encounter.Ranges, evals []ga.Evaluation, k int) []Found {
+	if k <= 0 || len(evals) == 0 {
+		return nil
+	}
+	sorted := append([]ga.Evaluation(nil), evals...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Fitness > sorted[j].Fitness })
+	if k > len(sorted) {
+		k = len(sorted)
+	}
+	out := make([]Found, 0, k)
+	for _, e := range sorted[:k] {
+		p, err := encounter.FromVector(e.Genome)
+		if err != nil {
+			continue
+		}
+		p = ranges.Clamp(p)
+		out = append(out, Found{
+			Params:     p,
+			Fitness:    e.Fitness,
+			Geometry:   encounter.Classify(p),
+			Generation: e.Generation,
+			Index:      e.Index,
+		})
+	}
+	return out
+}
+
+// RandomSearchResult is the outcome of the uniform random baseline.
+type RandomSearchResult struct {
+	Best           Found
+	Evaluations    []ga.Evaluation
+	NumEvaluations int
+	Elapsed        time.Duration
+}
+
+// RandomSearch evaluates n uniformly sampled encounters with the same
+// fitness function — the baseline the GA approach is compared against
+// ("the proposed approach can find some cases that a random-search-based
+// approach took a long time to find", section V).
+func RandomSearch(cfg SearchConfig, factory SystemFactory, n int, record bool) (*RandomSearchResult, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("core: random search needs n >= 1")
+	}
+	ev, err := NewEvaluator(cfg.Ranges, factory, cfg.Fitness)
+	if err != nil {
+		return nil, err
+	}
+	rng := stats.NewRNG(cfg.GA.Seed)
+	start := time.Now()
+	out := &RandomSearchResult{}
+	bestFitness := -1.0
+	for i := 0; i < n; i++ {
+		p := cfg.Ranges.Sample(rng)
+		o, err := ev.EvaluateEncounter(p, stats.DeriveSeed(cfg.GA.Seed, i))
+		if err != nil {
+			return nil, err
+		}
+		out.NumEvaluations++
+		if record {
+			out.Evaluations = append(out.Evaluations, ga.Evaluation{
+				Generation: 0,
+				Index:      i,
+				Genome:     p.Vector(),
+				Fitness:    o.Fitness,
+			})
+		}
+		if o.Fitness > bestFitness {
+			bestFitness = o.Fitness
+			out.Best = Found{
+				Params:   p,
+				Fitness:  o.Fitness,
+				Geometry: encounter.Classify(p),
+				Index:    i,
+			}
+		}
+	}
+	out.Elapsed = time.Since(start)
+	return out, nil
+}
+
+// EvaluationsToReach returns the index (1-based count) of the first
+// evaluation whose fitness reaches the threshold, or -1 if none does. Used
+// to compare GA and random search efficiency.
+func EvaluationsToReach(evals []ga.Evaluation, threshold float64) int {
+	for i, e := range evals {
+		if e.Fitness >= threshold {
+			return i + 1
+		}
+	}
+	return -1
+}

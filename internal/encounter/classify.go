@@ -1,0 +1,106 @@
+package encounter
+
+import (
+	"fmt"
+	"math"
+
+	"acasxval/internal/geom"
+)
+
+// Category is the coarse horizontal geometry of an encounter, the taxonomy
+// the paper uses when scrutinizing the high-fitness encounters the GA finds
+// (head-on in Fig. 5, tail approaches in Figs. 7-8).
+type Category int
+
+// Encounter geometry categories.
+const (
+	// HeadOn: the aircraft fly roughly opposite headings (paper Fig. 5).
+	HeadOn Category = iota + 1
+	// TailApproach: roughly the same heading, one overtaking the other
+	// from behind with a small closure rate (paper Figs. 7-8).
+	TailApproach
+	// Crossing: anything in between.
+	Crossing
+)
+
+// String implements fmt.Stringer.
+func (c Category) String() string {
+	switch c {
+	case HeadOn:
+		return "head-on"
+	case TailApproach:
+		return "tail-approach"
+	case Crossing:
+		return "crossing"
+	default:
+		return fmt.Sprintf("Category(%d)", int(c))
+	}
+}
+
+// Geometry summarizes the analyzable features of an encounter.
+type Geometry struct {
+	// Category is the coarse horizontal class.
+	Category Category
+	// HeadingDifference is |psi_i - psi_o| wrapped into [0, pi].
+	HeadingDifference float64
+	// ClosureRate is the initial horizontal closing speed, m/s (positive
+	// when converging).
+	ClosureRate float64
+	// VerticallyOpposed is true when one aircraft climbs while the other
+	// descends — the hallmark of the paper's discovered challenging
+	// situations ("one UAV was descending and the other was climbing").
+	VerticallyOpposed bool
+	// OvertakeFromBehind is true for tail geometries where the faster
+	// aircraft starts behind the slower one.
+	OvertakeFromBehind bool
+}
+
+// Classification thresholds: headings within 45 degrees count as same
+// direction, within 45 degrees of opposite count as head-on.
+const (
+	sameHeadingLimit = math.Pi / 4
+	headOnLimit      = math.Pi - math.Pi/4
+	// verticalOpposedMin is the minimum vertical rate (m/s) for an
+	// aircraft to count as deliberately climbing/descending.
+	verticalOpposedMin = 1.0
+)
+
+// Classify derives the geometry of an encounter from its parameters.
+func Classify(p Params) Geometry {
+	own, intr := Generate(p)
+	dHeading := math.Abs(geom.WrapSigned(p.IntruderBearing - own.Vel.Psi))
+
+	rel := intr.Pos.Sub(own.Pos).Horizontal()
+	dv := intr.VelVec().Sub(own.VelVec()).Horizontal()
+	closure := 0.0
+	if r := rel.Norm(); r > 0 {
+		closure = -rel.Dot(dv) / r
+	}
+
+	g := Geometry{
+		HeadingDifference: dHeading,
+		ClosureRate:       closure,
+	}
+	switch {
+	case dHeading >= headOnLimit:
+		g.Category = HeadOn
+	case dHeading <= sameHeadingLimit:
+		g.Category = TailApproach
+	default:
+		g.Category = Crossing
+	}
+
+	vo, vi := p.OwnVerticalSpeed, p.IntruderVerticalSpeed
+	g.VerticallyOpposed = (vo >= verticalOpposedMin && vi <= -verticalOpposedMin) ||
+		(vo <= -verticalOpposedMin && vi >= verticalOpposedMin)
+
+	if g.Category == TailApproach {
+		// Project the intruder's relative position onto the own-ship's
+		// heading: negative means the intruder starts behind.
+		heading := own.Vel.Vec().Horizontal().Unit()
+		along := rel.Dot(heading)
+		faster := p.IntruderGroundSpeed > p.OwnGroundSpeed
+		g.OvertakeFromBehind = (along < 0 && faster) || (along > 0 && !faster)
+	}
+	return g
+}

@@ -1,0 +1,253 @@
+// Package encounter implements the paper's two-UAV encounter
+// parameterization (section VI.A): an encounter is fully described by nine
+// scalars — the own-ship's ground speed and vertical speed, the time to the
+// closest point of approach (CPA), the intruder's relative position at the
+// CPA (horizontal distance R, approach angle theta, vertical distance Y),
+// and the intruder's velocity (ground speed, bearing, vertical speed).
+//
+// Because the collision avoidance logic only considers relative state, the
+// own-ship's initial position and bearing are fixed at convenient values;
+// the intruder's initial state is recovered from the CPA description by the
+// paper's vector equations (2) and (3). A scenario generator samples the
+// nine parameters uniformly from configured ranges to produce random
+// encounters; the same nine numbers are the genome the genetic algorithm
+// evolves.
+package encounter
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"acasxval/internal/geom"
+	"acasxval/internal/uav"
+)
+
+// Params are the nine encounter parameters of section VI.A:
+// {Gs_o, Vs_o, T, R, theta, Y, Gs_i, psi_i, Vs_i}.
+type Params struct {
+	// OwnGroundSpeed is the own-ship ground speed Gs_o, m/s.
+	OwnGroundSpeed float64
+	// OwnVerticalSpeed is the own-ship vertical speed Vs_o, m/s.
+	OwnVerticalSpeed float64
+	// TimeToCPA is the time T until both aircraft reach the CPA, s.
+	TimeToCPA float64
+	// HorizontalMissDistance is the horizontal distance R between the
+	// aircraft at the CPA, m.
+	HorizontalMissDistance float64
+	// ApproachAngle is the angle theta of the intruder's relative position
+	// at the CPA, radians.
+	ApproachAngle float64
+	// VerticalMissDistance is the vertical offset Y at the CPA, m
+	// (intruder minus own-ship).
+	VerticalMissDistance float64
+	// IntruderGroundSpeed is Gs_i, m/s.
+	IntruderGroundSpeed float64
+	// IntruderBearing is psi_i, radians.
+	IntruderBearing float64
+	// IntruderVerticalSpeed is Vs_i, m/s.
+	IntruderVerticalSpeed float64
+}
+
+// NumParams is the genome length: the paper's nine encounter parameters.
+const NumParams = 9
+
+// Vector returns the parameters as a fixed-order slice (the GA genome
+// layout): {Gs_o, Vs_o, T, R, theta, Y, Gs_i, psi_i, Vs_i}.
+func (p Params) Vector() []float64 {
+	return []float64{
+		p.OwnGroundSpeed, p.OwnVerticalSpeed, p.TimeToCPA,
+		p.HorizontalMissDistance, p.ApproachAngle, p.VerticalMissDistance,
+		p.IntruderGroundSpeed, p.IntruderBearing, p.IntruderVerticalSpeed,
+	}
+}
+
+// FromVector decodes a genome slice produced by Vector.
+func FromVector(v []float64) (Params, error) {
+	if len(v) != NumParams {
+		return Params{}, fmt.Errorf("encounter: genome has %d genes, want %d", len(v), NumParams)
+	}
+	return Params{
+		OwnGroundSpeed:         v[0],
+		OwnVerticalSpeed:       v[1],
+		TimeToCPA:              v[2],
+		HorizontalMissDistance: v[3],
+		ApproachAngle:          v[4],
+		VerticalMissDistance:   v[5],
+		IntruderGroundSpeed:    v[6],
+		IntruderBearing:        v[7],
+		IntruderVerticalSpeed:  v[8],
+	}, nil
+}
+
+// String implements fmt.Stringer with a compact readable form.
+func (p Params) String() string {
+	return fmt.Sprintf("Gso=%.1f Vso=%.1f T=%.1f R=%.1f th=%.2f Y=%.1f Gsi=%.1f psi=%.2f Vsi=%.1f",
+		p.OwnGroundSpeed, p.OwnVerticalSpeed, p.TimeToCPA,
+		p.HorizontalMissDistance, p.ApproachAngle, p.VerticalMissDistance,
+		p.IntruderGroundSpeed, p.IntruderBearing, p.IntruderVerticalSpeed)
+}
+
+// Range is a closed interval for one parameter.
+type Range struct {
+	Min, Max float64
+}
+
+// Width returns Max - Min.
+func (r Range) Width() float64 { return r.Max - r.Min }
+
+// Contains reports whether x is inside the interval.
+func (r Range) Contains(x float64) bool { return x >= r.Min && x <= r.Max }
+
+// Clamp limits x into the interval.
+func (r Range) Clamp(x float64) float64 { return geom.Clamp(x, r.Min, r.Max) }
+
+// Sample draws uniformly from the interval.
+func (r Range) Sample(rng *rand.Rand) float64 {
+	if r.Width() <= 0 {
+		return r.Min
+	}
+	return r.Min + rng.Float64()*r.Width()
+}
+
+// Ranges bounds the nine parameters: the search space of the GA and the
+// sampling space of random encounter generation. Per section VI.A the
+// generator only produces encounters that would (nearly) collide without
+// avoidance, so the CPA miss distances are kept small.
+type Ranges struct {
+	OwnGroundSpeed         Range
+	OwnVerticalSpeed       Range
+	TimeToCPA              Range
+	HorizontalMissDistance Range
+	ApproachAngle          Range
+	VerticalMissDistance   Range
+	IntruderGroundSpeed    Range
+	IntruderBearing        Range
+	IntruderVerticalSpeed  Range
+}
+
+// DefaultRanges returns the search space used in the application section:
+// UAV-class speeds, the short-term 20-40 s horizon ACAS XU addresses
+// (section VI.A: "ACAS XU is only meant to reduce short-term (20-40s ahead)
+// collision risks"), and CPA offsets inside/near the NMAC cylinder so every
+// generated encounter is a genuine conflict if neither aircraft maneuvers.
+func DefaultRanges() Ranges {
+	return Ranges{
+		OwnGroundSpeed:         Range{Min: 20, Max: 60},
+		OwnVerticalSpeed:       Range{Min: -7.5, Max: 7.5},
+		TimeToCPA:              Range{Min: 20, Max: 40},
+		HorizontalMissDistance: Range{Min: 0, Max: geom.NMACHorizontal},
+		ApproachAngle:          Range{Min: 0, Max: 2 * math.Pi},
+		VerticalMissDistance:   Range{Min: -geom.NMACVertical, Max: geom.NMACVertical},
+		IntruderGroundSpeed:    Range{Min: 20, Max: 60},
+		IntruderBearing:        Range{Min: 0, Max: 2 * math.Pi},
+		IntruderVerticalSpeed:  Range{Min: -7.5, Max: 7.5},
+	}
+}
+
+// all returns the nine ranges in genome order.
+func (r Ranges) all() []Range {
+	return []Range{
+		r.OwnGroundSpeed, r.OwnVerticalSpeed, r.TimeToCPA,
+		r.HorizontalMissDistance, r.ApproachAngle, r.VerticalMissDistance,
+		r.IntruderGroundSpeed, r.IntruderBearing, r.IntruderVerticalSpeed,
+	}
+}
+
+// Bounds returns the per-gene lower and upper bounds in genome order, for
+// constructing GA genomes.
+func (r Ranges) Bounds() (lo, hi []float64) {
+	lo = make([]float64, NumParams)
+	hi = make([]float64, NumParams)
+	for i, rg := range r.all() {
+		lo[i] = rg.Min
+		hi[i] = rg.Max
+	}
+	return lo, hi
+}
+
+// Validate checks that every range is non-empty and physically sensible.
+func (r Ranges) Validate() error {
+	names := []string{
+		"own ground speed", "own vertical speed", "time to CPA",
+		"horizontal miss distance", "approach angle", "vertical miss distance",
+		"intruder ground speed", "intruder bearing", "intruder vertical speed",
+	}
+	for i, rg := range r.all() {
+		if rg.Width() < 0 {
+			return fmt.Errorf("encounter: %s range [%v, %v] is empty", names[i], rg.Min, rg.Max)
+		}
+	}
+	if r.OwnGroundSpeed.Min < 0 || r.IntruderGroundSpeed.Min < 0 {
+		return fmt.Errorf("encounter: negative ground speed range")
+	}
+	if r.TimeToCPA.Min < 0 {
+		return fmt.Errorf("encounter: negative time-to-CPA range")
+	}
+	if r.HorizontalMissDistance.Min < 0 {
+		return fmt.Errorf("encounter: negative miss distance range")
+	}
+	return nil
+}
+
+// Sample draws one encounter uniformly from the ranges — the paper's
+// "random encounter can be generated by uniformly selecting the values for
+// the 9 parameters from their ranges".
+func (r Ranges) Sample(rng *rand.Rand) Params {
+	return Params{
+		OwnGroundSpeed:         r.OwnGroundSpeed.Sample(rng),
+		OwnVerticalSpeed:       r.OwnVerticalSpeed.Sample(rng),
+		TimeToCPA:              r.TimeToCPA.Sample(rng),
+		HorizontalMissDistance: r.HorizontalMissDistance.Sample(rng),
+		ApproachAngle:          r.ApproachAngle.Sample(rng),
+		VerticalMissDistance:   r.VerticalMissDistance.Sample(rng),
+		IntruderGroundSpeed:    r.IntruderGroundSpeed.Sample(rng),
+		IntruderBearing:        r.IntruderBearing.Sample(rng),
+		IntruderVerticalSpeed:  r.IntruderVerticalSpeed.Sample(rng),
+	}
+}
+
+// Clamp limits every parameter of p into the ranges.
+func (r Ranges) Clamp(p Params) Params {
+	v := p.Vector()
+	for i, rg := range r.all() {
+		v[i] = rg.Clamp(v[i])
+	}
+	out, _ := FromVector(v)
+	return out
+}
+
+// OwnInitialState is the fixed own-ship starting state. The paper fixes the
+// own-ship's initial position and bearing "at some convenient values"
+// because the logic only considers relative state: origin, heading +X.
+func OwnInitialState(p Params) uav.State {
+	return uav.State{
+		Pos: geom.Vec3{X: 0, Y: 0, Z: 0},
+		Vel: geom.Velocity{Gs: p.OwnGroundSpeed, Psi: 0, Vs: p.OwnVerticalSpeed},
+	}
+}
+
+// IntruderInitialState recovers the intruder's initial state from the CPA
+// description via equations (2) and (3):
+//
+//	v_i = (Gs_i cos psi_i, Gs_i sin psi_i, Vs_i)                      (2)
+//	p_i = p_o + v_o*T + (R cos theta, R sin theta, Y) - v_i*T         (3)
+func IntruderInitialState(p Params) uav.State {
+	own := OwnInitialState(p)
+	vi := geom.Velocity{Gs: p.IntruderGroundSpeed, Psi: p.IntruderBearing, Vs: p.IntruderVerticalSpeed}
+	rel := geom.Vec3{
+		X: p.HorizontalMissDistance * math.Cos(p.ApproachAngle),
+		Y: p.HorizontalMissDistance * math.Sin(p.ApproachAngle),
+		Z: p.VerticalMissDistance,
+	}
+	pos := own.Pos.
+		Add(own.VelVec().Scale(p.TimeToCPA)).
+		Add(rel).
+		Sub(vi.Vec().Scale(p.TimeToCPA))
+	return uav.State{Pos: pos, Vel: vi}
+}
+
+// Generate produces both initial states for the encounter.
+func Generate(p Params) (own, intruder uav.State) {
+	return OwnInitialState(p), IntruderInitialState(p)
+}

@@ -1,0 +1,252 @@
+package encounter
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"acasxval/internal/geom"
+	"acasxval/internal/stats"
+)
+
+// TestCPAPropertyEquations2And3 is the central property test of the
+// encoding: flying both aircraft straight (no noise, no avoidance) for
+// exactly TimeToCPA seconds must put the intruder at the configured
+// relative offset (R, theta, Y) from the own-ship. This is what equations
+// (2) and (3) guarantee.
+func TestCPAPropertyEquations2And3(t *testing.T) {
+	ranges := DefaultRanges()
+	rng := stats.NewRNG(17)
+	for trial := 0; trial < 1000; trial++ {
+		p := ranges.Sample(rng)
+		own, intr := Generate(p)
+		ownAt := own.Pos.Add(own.VelVec().Scale(p.TimeToCPA))
+		intrAt := intr.Pos.Add(intr.VelVec().Scale(p.TimeToCPA))
+		rel := intrAt.Sub(ownAt)
+		wantH := p.HorizontalMissDistance
+		if got := rel.HorizontalNorm(); math.Abs(got-wantH) > 1e-6 {
+			t.Fatalf("trial %d (%v): horizontal offset at T = %v, want %v", trial, p, got, wantH)
+		}
+		if got := rel.Z; math.Abs(got-p.VerticalMissDistance) > 1e-6 {
+			t.Fatalf("trial %d: vertical offset at T = %v, want %v", trial, got, p.VerticalMissDistance)
+		}
+		// The angle must match when R is meaningfully non-zero.
+		if wantH > 1 {
+			gotAngle := math.Atan2(rel.Y, rel.X)
+			if math.Abs(geom.WrapSigned(gotAngle-p.ApproachAngle)) > 1e-6 {
+				t.Fatalf("trial %d: approach angle = %v, want %v", trial, gotAngle, p.ApproachAngle)
+			}
+		}
+	}
+}
+
+// TestGeneratedEncountersConflict: with near-zero miss distances the
+// unmitigated trajectories must violate the NMAC cylinder — the generator
+// is specified to produce encounters that "can actually collide (or nearly
+// collide) if no collision avoidance actions were taken".
+func TestGeneratedEncountersConflict(t *testing.T) {
+	ranges := DefaultRanges()
+	rng := stats.NewRNG(23)
+	for trial := 0; trial < 200; trial++ {
+		p := ranges.Sample(rng)
+		own, intr := Generate(p)
+		cpa := geom.CPAOf(own.Pos, own.VelVec(), intr.Pos, intr.VelVec())
+		// The configured offset at time T bounds the true minimum, so the
+		// NMAC thresholds bound the true CPA too.
+		if cpa.HorizontalRange > geom.NMACHorizontal+1e-6 && cpa.VerticalRange > geom.NMACVertical+1e-6 {
+			t.Fatalf("trial %d: unmitigated CPA (%v, %v) misses NMAC cylinder entirely",
+				trial, cpa.HorizontalRange, cpa.VerticalRange)
+		}
+	}
+}
+
+func TestVectorRoundTrip(t *testing.T) {
+	f := func(a, b, c, d, e, f2, g, h, i float64) bool {
+		p := Params{a, b, c, d, e, f2, g, h, i}
+		back, err := FromVector(p.Vector())
+		if err != nil {
+			return false
+		}
+		return back == p
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFromVectorLengthError(t *testing.T) {
+	if _, err := FromVector([]float64{1, 2}); err == nil {
+		t.Error("expected genome-length error")
+	}
+}
+
+func TestRangesValidate(t *testing.T) {
+	if err := DefaultRanges().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultRanges()
+	bad.TimeToCPA = Range{Min: 40, Max: 20}
+	if err := bad.Validate(); err == nil {
+		t.Error("expected empty-range error")
+	}
+	neg := DefaultRanges()
+	neg.OwnGroundSpeed = Range{Min: -5, Max: 10}
+	if err := neg.Validate(); err == nil {
+		t.Error("expected negative-speed error")
+	}
+	negT := DefaultRanges()
+	negT.TimeToCPA = Range{Min: -1, Max: 10}
+	if err := negT.Validate(); err == nil {
+		t.Error("expected negative-time error")
+	}
+	negR := DefaultRanges()
+	negR.HorizontalMissDistance = Range{Min: -10, Max: 10}
+	if err := negR.Validate(); err == nil {
+		t.Error("expected negative-miss error")
+	}
+}
+
+func TestSampleWithinRanges(t *testing.T) {
+	ranges := DefaultRanges()
+	rng := stats.NewRNG(5)
+	all := ranges.all()
+	for trial := 0; trial < 500; trial++ {
+		v := ranges.Sample(rng).Vector()
+		for i, x := range v {
+			if !all[i].Contains(x) {
+				t.Fatalf("gene %d = %v outside [%v, %v]", i, x, all[i].Min, all[i].Max)
+			}
+		}
+	}
+}
+
+func TestBounds(t *testing.T) {
+	lo, hi := DefaultRanges().Bounds()
+	if len(lo) != NumParams || len(hi) != NumParams {
+		t.Fatalf("bounds lengths %d/%d", len(lo), len(hi))
+	}
+	for i := range lo {
+		if lo[i] > hi[i] {
+			t.Errorf("gene %d: lo %v > hi %v", i, lo[i], hi[i])
+		}
+	}
+}
+
+func TestClampParams(t *testing.T) {
+	ranges := DefaultRanges()
+	wild := Params{
+		OwnGroundSpeed: 1e6, OwnVerticalSpeed: -1e6, TimeToCPA: -50,
+		HorizontalMissDistance: 1e9, ApproachAngle: 100, VerticalMissDistance: -1e9,
+		IntruderGroundSpeed: -1, IntruderBearing: -100, IntruderVerticalSpeed: 1e6,
+	}
+	clamped := ranges.Clamp(wild)
+	v := clamped.Vector()
+	for i, rg := range ranges.all() {
+		if !rg.Contains(v[i]) {
+			t.Errorf("gene %d = %v not clamped into [%v, %v]", i, v[i], rg.Min, rg.Max)
+		}
+	}
+}
+
+func TestRangeSampleDegenerate(t *testing.T) {
+	r := Range{Min: 5, Max: 5}
+	if got := r.Sample(stats.NewRNG(1)); got != 5 {
+		t.Errorf("degenerate sample = %v", got)
+	}
+}
+
+func TestOwnInitialStateFixedOriginAndBearing(t *testing.T) {
+	p := PresetCrossing()
+	own := OwnInitialState(p)
+	if own.Pos != (geom.Vec3{}) {
+		t.Errorf("own position = %v, want origin", own.Pos)
+	}
+	if own.Vel.Psi != 0 {
+		t.Errorf("own bearing = %v, want 0", own.Vel.Psi)
+	}
+	if own.Vel.Gs != p.OwnGroundSpeed || own.Vel.Vs != p.OwnVerticalSpeed {
+		t.Error("own velocity does not match parameters")
+	}
+}
+
+func TestPresetHeadOnGeometry(t *testing.T) {
+	p := PresetHeadOn()
+	g := Classify(p)
+	if g.Category != HeadOn {
+		t.Errorf("head-on preset classified as %v", g.Category)
+	}
+	if g.ClosureRate < 90 {
+		t.Errorf("head-on closure rate = %v, want ~100", g.ClosureRate)
+	}
+	if g.VerticallyOpposed {
+		t.Error("level head-on flagged vertically opposed")
+	}
+	// The unmitigated trajectories collide exactly.
+	own, intr := Generate(p)
+	cpa := geom.CPAOf(own.Pos, own.VelVec(), intr.Pos, intr.VelVec())
+	if cpa.Range > 1e-6 {
+		t.Errorf("head-on CPA range = %v, want 0", cpa.Range)
+	}
+}
+
+func TestPresetTailApproachGeometry(t *testing.T) {
+	p := PresetTailApproach()
+	g := Classify(p)
+	if g.Category != TailApproach {
+		t.Errorf("tail preset classified as %v", g.Category)
+	}
+	if !g.VerticallyOpposed {
+		t.Error("tail preset should be vertically opposed (own descending, intruder climbing)")
+	}
+	if !g.OvertakeFromBehind {
+		t.Error("tail preset should be an overtake from behind")
+	}
+	if g.ClosureRate > 10 {
+		t.Errorf("tail approach closure rate = %v, want small", g.ClosureRate)
+	}
+}
+
+func TestPresetCrossingGeometry(t *testing.T) {
+	g := Classify(PresetCrossing())
+	if g.Category != Crossing {
+		t.Errorf("crossing preset classified as %v", g.Category)
+	}
+}
+
+func TestPresetLookup(t *testing.T) {
+	for _, name := range PresetNames() {
+		if _, err := Preset(name); err != nil {
+			t.Errorf("preset %q: %v", name, err)
+		}
+	}
+	if _, err := Preset("bogus"); err == nil {
+		t.Error("expected error for unknown preset")
+	}
+}
+
+func TestCategoryString(t *testing.T) {
+	if HeadOn.String() != "head-on" || TailApproach.String() != "tail-approach" ||
+		Crossing.String() != "crossing" {
+		t.Error("category names wrong")
+	}
+	if got := Category(0).String(); got != "Category(0)" {
+		t.Errorf("zero category = %q", got)
+	}
+}
+
+func TestParamsString(t *testing.T) {
+	s := PresetHeadOn().String()
+	if len(s) == 0 {
+		t.Error("empty String()")
+	}
+}
+
+func TestClassifyZeroRange(t *testing.T) {
+	// Degenerate encounter with both aircraft at the same point must not
+	// panic or produce NaNs.
+	p := Params{OwnGroundSpeed: 50, IntruderGroundSpeed: 50, IntruderBearing: math.Pi}
+	g := Classify(p)
+	if math.IsNaN(g.ClosureRate) {
+		t.Error("NaN closure rate for degenerate encounter")
+	}
+}

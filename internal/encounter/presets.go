@@ -1,0 +1,102 @@
+package encounter
+
+import (
+	"fmt"
+	"math"
+
+	"acasxval/internal/geom"
+)
+
+// Presets are named canonical encounters corresponding to the situations
+// the paper discusses: the coordinated head-on avoidance of Fig. 5 and the
+// tail-approach collision situations of Figs. 7-8.
+
+// PresetHeadOn is the Fig. 5 scenario: two UAVs at the same altitude flying
+// directly at each other, on course for a zero-miss-distance CPA in 30 s.
+func PresetHeadOn() Params {
+	return Params{
+		OwnGroundSpeed:         50,
+		OwnVerticalSpeed:       0,
+		TimeToCPA:              30,
+		HorizontalMissDistance: 0,
+		ApproachAngle:          0,
+		VerticalMissDistance:   0,
+		IntruderGroundSpeed:    50,
+		IntruderBearing:        math.Pi, // opposite heading
+		IntruderVerticalSpeed:  0,
+	}
+}
+
+// PresetTailApproach is a Figs. 7-8 style scenario: the own-ship descends
+// while a slightly faster intruder climbs toward it from astern. The closure
+// rate is tiny, so tau-based alerting triggers very late — the failure mode
+// the paper's GA repeatedly discovered ("most of them are tail approach
+// situations, where one UAV was descending and the other was climbing and
+// approaching the first one from the tail direction").
+func PresetTailApproach() Params {
+	return Params{
+		OwnGroundSpeed:         40,
+		OwnVerticalSpeed:       -2.5, // descending
+		TimeToCPA:              35,
+		HorizontalMissDistance: 20,
+		ApproachAngle:          math.Pi / 2,
+		VerticalMissDistance:   0,
+		IntruderGroundSpeed:    44,  // overtaking slowly: 4 m/s closure
+		IntruderBearing:        0,   // same heading as own-ship
+		IntruderVerticalSpeed:  2.5, // climbing
+	}
+}
+
+// PresetCrossing is a perpendicular crossing conflict at matched altitude.
+func PresetCrossing() Params {
+	return Params{
+		OwnGroundSpeed:         45,
+		OwnVerticalSpeed:       0,
+		TimeToCPA:              30,
+		HorizontalMissDistance: geom.NMACHorizontal / 3,
+		ApproachAngle:          math.Pi / 4,
+		VerticalMissDistance:   0,
+		IntruderGroundSpeed:    45,
+		IntruderBearing:        math.Pi / 2,
+		IntruderVerticalSpeed:  0,
+	}
+}
+
+// PresetVerticalConvergence is a conflict created mostly in the vertical
+// plane: level own-ship, intruder descending through its altitude head-on
+// with an offset start.
+func PresetVerticalConvergence() Params {
+	return Params{
+		OwnGroundSpeed:         50,
+		OwnVerticalSpeed:       0,
+		TimeToCPA:              25,
+		HorizontalMissDistance: 50,
+		ApproachAngle:          math.Pi,
+		VerticalMissDistance:   10,
+		IntruderGroundSpeed:    50,
+		IntruderBearing:        math.Pi,
+		IntruderVerticalSpeed:  -5,
+	}
+}
+
+// Preset looks up a named preset. Valid names: headon, tailchase, crossing,
+// vertical.
+func Preset(name string) (Params, error) {
+	switch name {
+	case "headon":
+		return PresetHeadOn(), nil
+	case "tailchase":
+		return PresetTailApproach(), nil
+	case "crossing":
+		return PresetCrossing(), nil
+	case "vertical":
+		return PresetVerticalConvergence(), nil
+	default:
+		return Params{}, fmt.Errorf("encounter: unknown preset %q (want headon, tailchase, crossing or vertical)", name)
+	}
+}
+
+// PresetNames lists the available presets.
+func PresetNames() []string {
+	return []string{"headon", "tailchase", "crossing", "vertical"}
+}

@@ -1,0 +1,72 @@
+package ga
+
+import "math"
+
+// Diversity metrics help interpret search progress: a fitness plateau with
+// collapsed diversity means convergence, while a plateau with high
+// diversity means the fitness landscape is flat — in the paper's setting,
+// the difference between "the GA has found the failure region" and "the GA
+// is still wandering".
+
+// NormalizedDiversity computes the mean pairwise Euclidean distance between
+// genomes, with every gene scaled into [0, 1] by the bounds, divided by the
+// maximum possible distance sqrt(dims). Returns a value in [0, 1]: 0 for a
+// fully collapsed population, approaching 1 for maximally spread genomes.
+// Populations with fewer than two members have zero diversity.
+func NormalizedDiversity(pop Population, bounds Bounds) float64 {
+	n := len(pop)
+	if n < 2 || bounds.Len() == 0 {
+		return 0
+	}
+	dims := bounds.Len()
+	scale := make([]float64, dims)
+	for d := 0; d < dims; d++ {
+		w := bounds.Hi[d] - bounds.Lo[d]
+		if w > 0 {
+			scale[d] = 1 / w
+		}
+	}
+	total := 0.0
+	pairs := 0
+	for i := 0; i < n; i++ {
+		gi := pop[i].Genome
+		if len(gi) != dims {
+			continue
+		}
+		for j := i + 1; j < n; j++ {
+			gj := pop[j].Genome
+			if len(gj) != dims {
+				continue
+			}
+			s := 0.0
+			for d := 0; d < dims; d++ {
+				diff := (gi[d] - gj[d]) * scale[d]
+				s += diff * diff
+			}
+			total += math.Sqrt(s)
+			pairs++
+		}
+	}
+	if pairs == 0 {
+		return 0
+	}
+	return total / float64(pairs) / math.Sqrt(float64(dims))
+}
+
+// Stagnation counts how many trailing generations failed to improve the
+// best fitness by more than tol. A high count signals the search has
+// converged (or is stuck) and further generations buy little.
+func Stagnation(perGeneration []GenerationStats, tol float64) int {
+	if len(perGeneration) == 0 {
+		return 0
+	}
+	best := math.Inf(-1)
+	lastImprovement := -1
+	for i, gs := range perGeneration {
+		if gs.Max > best+tol {
+			best = gs.Max
+			lastImprovement = i
+		}
+	}
+	return len(perGeneration) - 1 - lastImprovement
+}

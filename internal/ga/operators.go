@@ -1,0 +1,199 @@
+package ga
+
+import (
+	"fmt"
+	"math/rand/v2"
+)
+
+// SelectionOp names a parent-selection operator.
+type SelectionOp int
+
+// Selection operators.
+const (
+	// Tournament selection: sample TournamentSize individuals, keep the
+	// fittest (ECJ's default and the usual choice for noisy fitness).
+	Tournament SelectionOp = iota + 1
+	// Roulette is fitness-proportional selection over shifted-positive
+	// fitness values.
+	Roulette
+)
+
+// String implements fmt.Stringer.
+func (s SelectionOp) String() string {
+	switch s {
+	case Tournament:
+		return "tournament"
+	case Roulette:
+		return "roulette"
+	default:
+		return fmt.Sprintf("SelectionOp(%d)", int(s))
+	}
+}
+
+// ParseSelectionOp parses a parameter-file selection name.
+func ParseSelectionOp(name string) (SelectionOp, error) {
+	switch name {
+	case "tournament":
+		return Tournament, nil
+	case "roulette":
+		return Roulette, nil
+	default:
+		return 0, fmt.Errorf("ga: unknown selection operator %q", name)
+	}
+}
+
+// CrossoverOp names a crossover operator.
+type CrossoverOp int
+
+// Crossover operators.
+const (
+	// OnePoint swaps the tails after a random cut.
+	OnePoint CrossoverOp = iota + 1
+	// TwoPoint swaps the middle segment between two random cuts.
+	TwoPoint
+	// UniformX swaps each gene independently with probability 1/2.
+	UniformX
+	// Blend draws each child gene uniformly between the parents
+	// (arithmetic BLX-0 crossover for real genomes).
+	Blend
+)
+
+// String implements fmt.Stringer.
+func (c CrossoverOp) String() string {
+	switch c {
+	case OnePoint:
+		return "one-point"
+	case TwoPoint:
+		return "two-point"
+	case UniformX:
+		return "uniform"
+	case Blend:
+		return "blend"
+	default:
+		return fmt.Sprintf("CrossoverOp(%d)", int(c))
+	}
+}
+
+// ParseCrossoverOp parses a parameter-file crossover name.
+func ParseCrossoverOp(name string) (CrossoverOp, error) {
+	switch name {
+	case "one-point", "onepoint":
+		return OnePoint, nil
+	case "two-point", "twopoint":
+		return TwoPoint, nil
+	case "uniform":
+		return UniformX, nil
+	case "blend":
+		return Blend, nil
+	default:
+		return 0, fmt.Errorf("ga: unknown crossover operator %q", name)
+	}
+}
+
+// selectParent picks one parent index from the evaluated population.
+func selectParent(pop Population, op SelectionOp, tournamentSize int, rng *rand.Rand) int {
+	switch op {
+	case Roulette:
+		return rouletteSelect(pop, rng)
+	default:
+		return tournamentSelect(pop, tournamentSize, rng)
+	}
+}
+
+func tournamentSelect(pop Population, k int, rng *rand.Rand) int {
+	if k < 1 {
+		k = 2
+	}
+	best := rng.IntN(len(pop))
+	for i := 1; i < k; i++ {
+		c := rng.IntN(len(pop))
+		if pop[c].Fitness > pop[best].Fitness {
+			best = c
+		}
+	}
+	return best
+}
+
+func rouletteSelect(pop Population, rng *rand.Rand) int {
+	// Shift fitness to be positive; degenerate (all-equal) populations fall
+	// back to uniform choice.
+	minF := pop[0].Fitness
+	for i := range pop {
+		if pop[i].Fitness < minF {
+			minF = pop[i].Fitness
+		}
+	}
+	total := 0.0
+	for i := range pop {
+		total += pop[i].Fitness - minF
+	}
+	if total <= 0 {
+		return rng.IntN(len(pop))
+	}
+	u := rng.Float64() * total
+	acc := 0.0
+	for i := range pop {
+		acc += pop[i].Fitness - minF
+		if u < acc {
+			return i
+		}
+	}
+	return len(pop) - 1
+}
+
+// crossover recombines two parent genomes into two children, in place.
+func crossover(a, b []float64, op CrossoverOp, rng *rand.Rand) {
+	n := len(a)
+	if n < 2 {
+		return
+	}
+	switch op {
+	case TwoPoint:
+		i := rng.IntN(n)
+		j := rng.IntN(n)
+		if i > j {
+			i, j = j, i
+		}
+		for k := i; k < j; k++ {
+			a[k], b[k] = b[k], a[k]
+		}
+	case UniformX:
+		for k := 0; k < n; k++ {
+			if rng.Float64() < 0.5 {
+				a[k], b[k] = b[k], a[k]
+			}
+		}
+	case Blend:
+		for k := 0; k < n; k++ {
+			lo, hi := a[k], b[k]
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			w := hi - lo
+			a[k] = lo + rng.Float64()*w
+			b[k] = lo + rng.Float64()*w
+		}
+	default: // OnePoint
+		cut := 1 + rng.IntN(n-1)
+		for k := cut; k < n; k++ {
+			a[k], b[k] = b[k], a[k]
+		}
+	}
+}
+
+// mutate applies per-gene Gaussian mutation with probability prob; sigma is
+// expressed as a fraction of each gene's bound width. Mutated genes are
+// clamped into bounds.
+func mutate(g []float64, bounds Bounds, prob, sigmaFrac float64, rng *rand.Rand) {
+	for i := range g {
+		if rng.Float64() >= prob {
+			continue
+		}
+		w := bounds.Hi[i] - bounds.Lo[i]
+		if w <= 0 {
+			continue
+		}
+		g[i] += rng.NormFloat64() * sigmaFrac * w
+	}
+	bounds.Clamp(g)
+}

@@ -1,0 +1,322 @@
+package grid2d
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"acasxval/internal/mdp"
+	"acasxval/internal/stats"
+)
+
+func mustModel(t *testing.T) *Model {
+	t.Helper()
+	m, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func mustSolve(t *testing.T, m *Model) *LogicTable {
+	t.Helper()
+	lt, err := Solve(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lt
+}
+
+func TestDefaultConfigValid(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"bad YMax", func(c *Config) { c.YMax = 0 }},
+		{"bad XMax", func(c *Config) { c.XMax = 0 }},
+		{"own dist", func(c *Config) { c.OwnIntended = 0.5 }},
+		{"level dist", func(c *Config) { c.LevelStay = 0.5 }},
+		{"intruder dist", func(c *Config) { c.IntruderNoise = []VerticalOutcome{{0, 0.5}} }},
+		{"negative intruder prob", func(c *Config) {
+			c.IntruderNoise = []VerticalOutcome{{0, 1.5}, {1, -0.5}}
+		}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			tt.mutate(&cfg)
+			if err := cfg.Validate(); err == nil {
+				t.Error("expected validation error")
+			}
+			if _, err := New(cfg); err == nil {
+				t.Error("New should reject invalid config")
+			}
+		})
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	m := mustModel(t)
+	cfg := m.Config()
+	count := 0
+	for yo := -cfg.YMax; yo <= cfg.YMax; yo++ {
+		for xr := 0; xr <= cfg.XMax; xr++ {
+			for yi := -cfg.YMax; yi <= cfg.YMax; yi++ {
+				s := State{YO: yo, XR: xr, YI: yi}
+				idx := m.Encode(s)
+				if idx < 0 || idx >= m.NumStates() {
+					t.Fatalf("Encode(%v) = %d out of range", s, idx)
+				}
+				if got := m.Decode(idx); got != s {
+					t.Fatalf("Decode(Encode(%v)) = %v", s, got)
+				}
+				count++
+			}
+		}
+	}
+	if count+1 != m.NumStates() {
+		t.Errorf("state count %d+1 != NumStates %d", count, m.NumStates())
+	}
+	// Terminal round trip.
+	if got := m.Decode(m.Encode(State{XR: -1})); got.XR != -1 {
+		t.Errorf("terminal decode = %v", got)
+	}
+}
+
+func TestEncodeClamps(t *testing.T) {
+	m := mustModel(t)
+	over := m.Encode(State{YO: 100, XR: 5, YI: -100})
+	want := m.Encode(State{YO: m.Config().YMax, XR: 5, YI: -m.Config().YMax})
+	if over != want {
+		t.Errorf("clamped encode = %d, want %d", over, want)
+	}
+}
+
+func TestModelIsValidMDP(t *testing.T) {
+	m := mustModel(t)
+	if err := mdp.ValidateProblem(m, 1e-9); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCollisionPredicate(t *testing.T) {
+	if !(State{YO: 2, XR: 0, YI: 2}).Collision() {
+		t.Error("co-located state not a collision")
+	}
+	if (State{YO: 2, XR: 1, YI: 2}).Collision() {
+		t.Error("x_r=1 flagged as collision")
+	}
+	if (State{YO: 2, XR: 0, YI: 1}).Collision() {
+		t.Error("different altitudes flagged as collision")
+	}
+}
+
+func TestRewards(t *testing.T) {
+	m := mustModel(t)
+	cfg := m.Config()
+	// Level action in a safe state earns the level reward.
+	s := m.Encode(State{YO: 0, XR: 5, YI: 2})
+	if got := m.Reward(s, int(Level)); got != cfg.LevelReward {
+		t.Errorf("level reward = %v, want %v", got, cfg.LevelReward)
+	}
+	if got := m.Reward(s, int(Up)); got != -cfg.ManeuverCost {
+		t.Errorf("up reward = %v, want %v", got, -cfg.ManeuverCost)
+	}
+	// Collision state: punishment dominates.
+	c := m.Encode(State{YO: 0, XR: 0, YI: 0})
+	if got := m.Reward(c, int(Level)); got != cfg.LevelReward-cfg.CollisionCost {
+		t.Errorf("collision reward = %v", got)
+	}
+	// Terminal state is reward-free.
+	if got := m.Reward(m.terminalIndex(), int(Up)); got != 0 {
+		t.Errorf("terminal reward = %v", got)
+	}
+}
+
+func TestTransitionsIntruderAlwaysMovesLeft(t *testing.T) {
+	m := mustModel(t)
+	s := m.Encode(State{YO: 0, XR: 5, YI: 1})
+	for a := 0; a < m.NumActions(); a++ {
+		for _, tr := range m.Transitions(s, a) {
+			next := m.Decode(tr.State)
+			if next.XR != 4 {
+				t.Fatalf("action %d: successor %v has x_r %d, want 4", a, next, next.XR)
+			}
+		}
+	}
+}
+
+func TestTransitionsAtZeroRangeTerminate(t *testing.T) {
+	m := mustModel(t)
+	s := m.Encode(State{YO: 1, XR: 0, YI: -1})
+	ts := m.Transitions(s, int(Level))
+	if len(ts) != 1 || ts[0].State != m.terminalIndex() || ts[0].Prob != 1 {
+		t.Errorf("transitions at x_r=0 = %+v, want single terminal", ts)
+	}
+	if got := m.Transitions(m.terminalIndex(), 0); got != nil {
+		t.Errorf("terminal transitions = %+v, want nil", got)
+	}
+}
+
+func TestSolveProducesAvoidingPolicy(t *testing.T) {
+	m := mustModel(t)
+	lt := mustSolve(t, m)
+
+	// Head-on at the same altitude two steps out: the logic must maneuver
+	// (expected collision cost 10000 dwarfs the 100 maneuver cost).
+	near := State{YO: 0, XR: 2, YI: 0}
+	if got := lt.Action(near); got == Level {
+		t.Errorf("logic levels off in imminent-collision state %v", near)
+	}
+
+	// Far away with a big altitude gap: level off is optimal (its +50
+	// reward beats paying 100 for an unneeded maneuver).
+	safe := State{YO: 3, XR: 9, YI: -3}
+	if got := lt.Action(safe); got != Level {
+		t.Errorf("logic maneuvers (%v) in safe state %v", got, safe)
+	}
+}
+
+func TestSolvedValuesAreCertifiedOptimal(t *testing.T) {
+	m := mustModel(t)
+	lt := mustSolve(t, m)
+	if r := mdp.BellmanResidual(m, lt.values, 1); r > 1e-6 {
+		t.Errorf("Bellman residual = %v", r)
+	}
+}
+
+func TestValueOfDoomedState(t *testing.T) {
+	m := mustModel(t)
+	lt := mustSolve(t, m)
+	// A collision state at x_r = 0 has value <= -collisionCost + levelReward
+	// (the punishment is unavoidable; the episode then terminates).
+	v := lt.Value(State{YO: 0, XR: 0, YI: 0})
+	if v > -9000 {
+		t.Errorf("collision state value = %v, want <= -9000", v)
+	}
+}
+
+func TestPolicyReducesCollisions(t *testing.T) {
+	m := mustModel(t)
+	lt := mustSolve(t, m)
+	rng := stats.NewRNG(42)
+	// Head-on from maximum range, same altitude.
+	initial := State{YO: 0, XR: m.Config().XMax, YI: 0}
+	const n = 2000
+	baseline := m.CollisionRate(AlwaysLevel, initial, n, rng)
+	withLogic := m.CollisionRate(lt.Action, initial, n, rng)
+	if withLogic >= baseline {
+		t.Errorf("logic collision rate %v not better than baseline %v", withLogic, baseline)
+	}
+	if baseline < 0.05 {
+		t.Errorf("baseline collision rate %v suspiciously low for head-on", baseline)
+	}
+	if withLogic > 0.05 {
+		t.Errorf("logic collision rate %v too high", withLogic)
+	}
+}
+
+func TestSimulateEpisodeShape(t *testing.T) {
+	m := mustModel(t)
+	rng := stats.NewRNG(1)
+	out := m.Simulate(AlwaysLevel, State{YO: 0, XR: 9, YI: 0}, rng)
+	if out.Steps != 9 {
+		t.Errorf("steps = %d, want 9", out.Steps)
+	}
+	if len(out.Path) != 10 {
+		t.Errorf("path length = %d, want 10", len(out.Path))
+	}
+	if out.Maneuvers != 0 {
+		t.Errorf("AlwaysLevel made %d maneuvers", out.Maneuvers)
+	}
+	// Path x_r decreases by exactly 1 each step.
+	for i := 1; i < len(out.Path); i++ {
+		if out.Path[i].XR != out.Path[i-1].XR-1 {
+			t.Fatalf("x_r did not decrease monotonically: %v", out.Path)
+		}
+	}
+}
+
+func TestCollisionRateDegenerate(t *testing.T) {
+	m := mustModel(t)
+	if got := m.CollisionRate(AlwaysLevel, State{}, 0, stats.NewRNG(1)); got != 0 {
+		t.Errorf("rate with n=0 = %v", got)
+	}
+}
+
+func TestRenderSlice(t *testing.T) {
+	m := mustModel(t)
+	lt := mustSolve(t, m)
+	out := lt.RenderSlice(0)
+	if !strings.Contains(out, "y_o +3") || !strings.Contains(out, "y_o -3") {
+		t.Errorf("render missing rows:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 1+7 { // header + 7 altitude rows
+		t.Errorf("render has %d lines, want 8:\n%s", len(lines), out)
+	}
+	if !strings.ContainsAny(out, "^v") {
+		t.Error("policy slice shows no maneuvers at all")
+	}
+}
+
+func TestActionString(t *testing.T) {
+	if Level.String() != "level" || Up.String() != "up" || Down.String() != "down" {
+		t.Error("action names wrong")
+	}
+	if got := Action(9).String(); got != "Action(9)" {
+		t.Errorf("unknown action = %q", got)
+	}
+}
+
+func TestSampleOutcomeDistribution(t *testing.T) {
+	rng := stats.NewRNG(5)
+	outcomes := []VerticalOutcome{{Delta: 0, Prob: 0.5}, {Delta: 1, Prob: 0.3}, {Delta: -1, Prob: 0.2}}
+	counts := map[int]int{}
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[sampleOutcome(outcomes, rng)]++
+	}
+	for _, o := range outcomes {
+		got := float64(counts[o.Delta]) / n
+		if math.Abs(got-o.Prob) > 0.01 {
+			t.Errorf("delta %d frequency %v, want %v", o.Delta, got, o.Prob)
+		}
+	}
+}
+
+func BenchmarkSolveSectionIII(b *testing.B) {
+	m, err := New(DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRollout(b *testing.B) {
+	m, err := New(DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	lt, err := Solve(m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := stats.NewRNG(3)
+	initial := State{YO: 0, XR: 9, YI: 0}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Simulate(lt.Action, initial, rng)
+	}
+}

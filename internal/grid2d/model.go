@@ -1,0 +1,316 @@
+// Package grid2d implements the paper's section III worked example: a
+// fictional two-dimensional UAV collision avoidance system developed by
+// model-based optimization.
+//
+// Two UAVs fly in a 2-D vertical plane on a discrete grid (Fig. 2). The
+// own-ship sits at x = 0 and only moves vertically; the intruder moves one
+// cell left per step (relative horizontal motion) and jitters vertically
+// with white noise. The state is {y_o, x_r, y_i}: the own-ship's altitude,
+// the relative horizontal distance, and the intruder's altitude. The
+// own-ship chooses from {level off, move up, move down}; its dynamics are
+// uncertain. A preference system punishes collision states with cost 10000,
+// punishes maneuvers with cost 100 and rewards level-off with 50. Solving
+// the resulting MDP with dynamic programming yields the look-up-table
+// collision avoidance logic.
+package grid2d
+
+import (
+	"fmt"
+
+	"acasxval/internal/mdp"
+)
+
+// Action is the own-ship's vertical decision.
+type Action int
+
+// The three actions of the paper's hypothetical action set.
+const (
+	Level Action = iota // level off (0)
+	Up                  // move up (+1)
+	Down                // move down (-1)
+)
+
+// NumActions is the size of the action set.
+const NumActions = 3
+
+// String implements fmt.Stringer.
+func (a Action) String() string {
+	switch a {
+	case Level:
+		return "level"
+	case Up:
+		return "up"
+	case Down:
+		return "down"
+	default:
+		return fmt.Sprintf("Action(%d)", int(a))
+	}
+}
+
+// delta returns the intended vertical movement of the action.
+func (a Action) delta() int {
+	switch a {
+	case Up:
+		return 1
+	case Down:
+		return -1
+	default:
+		return 0
+	}
+}
+
+// VerticalOutcome is one probabilistic vertical movement outcome.
+type VerticalOutcome struct {
+	Delta int
+	Prob  float64
+}
+
+// Config parameterizes the section III model. The defaults reproduce the
+// paper exactly; the fields exist so the model-revision loop of Fig. 1
+// ("manual model revision") can be exercised.
+type Config struct {
+	// YMax bounds altitudes to [-YMax, +YMax] (Fig. 2 shows 3).
+	YMax int
+	// XMax is the initial relative horizontal distance (Fig. 2 shows 9).
+	XMax int
+	// CollisionCost is the punishment for a collision state (paper: 10000).
+	CollisionCost float64
+	// ManeuverCost is the punishment for a move up/down action (paper: 100).
+	ManeuverCost float64
+	// LevelReward is the reward for the level-off action (paper: 50).
+	LevelReward float64
+	// OwnIntended, OwnStay, OwnOpposite are the own-ship's dynamics for a
+	// maneuver action: probability of moving as intended, staying level,
+	// and moving opposite (paper: 0.7 / 0.2 / 0.1 for "move up" -> {(0,1):
+	// 0.7, (0,0): 0.2, (0,-1): 0.1}).
+	OwnIntended, OwnStay, OwnOpposite float64
+	// LevelStay, LevelDrift are the own-ship's dynamics for the level-off
+	// action: probability of staying and of drifting one cell up or down
+	// each ("similar distribution applies to the ... level off action" —
+	// we keep the same 0.7 mass on the intended outcome and split the rest
+	// symmetrically: 0.7 stay, 0.15 up, 0.15 down).
+	LevelStay, LevelDrift float64
+	// IntruderNoise is the intruder's vertical white-noise distribution
+	// (paper: {0: 0.5, -1: 0.15, +1: 0.15, -2: 0.1, +2: 0.1}).
+	IntruderNoise []VerticalOutcome
+}
+
+// DefaultConfig returns the paper's parameterization of the example.
+func DefaultConfig() Config {
+	return Config{
+		YMax:          3,
+		XMax:          9,
+		CollisionCost: 10000,
+		ManeuverCost:  100,
+		LevelReward:   50,
+		OwnIntended:   0.7,
+		OwnStay:       0.2,
+		OwnOpposite:   0.1,
+		LevelStay:     0.7,
+		LevelDrift:    0.15,
+		IntruderNoise: []VerticalOutcome{
+			{Delta: 0, Prob: 0.5},
+			{Delta: -1, Prob: 0.15},
+			{Delta: +1, Prob: 0.15},
+			{Delta: -2, Prob: 0.1},
+			{Delta: +2, Prob: 0.1},
+		},
+	}
+}
+
+// Validate checks that the configuration is a well-formed model.
+func (c Config) Validate() error {
+	if c.YMax < 1 {
+		return fmt.Errorf("grid2d: YMax %d < 1", c.YMax)
+	}
+	if c.XMax < 1 {
+		return fmt.Errorf("grid2d: XMax %d < 1", c.XMax)
+	}
+	if s := c.OwnIntended + c.OwnStay + c.OwnOpposite; !probEq(s, 1) {
+		return fmt.Errorf("grid2d: own maneuver distribution sums to %v", s)
+	}
+	if s := c.LevelStay + 2*c.LevelDrift; !probEq(s, 1) {
+		return fmt.Errorf("grid2d: level-off distribution sums to %v", s)
+	}
+	sum := 0.0
+	for _, o := range c.IntruderNoise {
+		if o.Prob < 0 {
+			return fmt.Errorf("grid2d: negative intruder probability %v", o.Prob)
+		}
+		sum += o.Prob
+	}
+	if !probEq(sum, 1) {
+		return fmt.Errorf("grid2d: intruder distribution sums to %v", sum)
+	}
+	return nil
+}
+
+func probEq(a, b float64) bool {
+	d := a - b
+	return d < 1e-9 && d > -1e-9
+}
+
+// State is a point of the example's state space: the own-ship altitude y_o,
+// the relative horizontal distance x_r (also the intruder's x coordinate),
+// and the intruder altitude y_i.
+type State struct {
+	YO, XR, YI int
+}
+
+// Collision reports whether the state is a collision state per the paper:
+// same altitude at zero horizontal separation.
+func (s State) Collision() bool { return s.XR == 0 && s.YO == s.YI }
+
+// String implements fmt.Stringer.
+func (s State) String() string { return fmt.Sprintf("{yo:%d xr:%d yi:%d}", s.YO, s.XR, s.YI) }
+
+// Model is the section III MDP. It implements mdp.Problem with the state
+// space {y_o, x_r, y_i} plus one absorbing terminal state entered when the
+// intruder passes behind the own-ship (x_r < 0).
+type Model struct {
+	cfg   Config
+	ySpan int // 2*YMax + 1
+	xSpan int // XMax + 1
+}
+
+var _ mdp.Problem = (*Model)(nil)
+
+// New builds the model, validating the configuration.
+func New(cfg Config) (*Model, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Model{
+		cfg:   cfg,
+		ySpan: 2*cfg.YMax + 1,
+		xSpan: cfg.XMax + 1,
+	}, nil
+}
+
+// Config returns the model configuration.
+func (m *Model) Config() Config { return m.cfg }
+
+// NumStates implements mdp.Problem: all (y_o, x_r, y_i) combinations plus
+// the terminal state.
+func (m *Model) NumStates() int { return m.ySpan*m.xSpan*m.ySpan + 1 }
+
+// NumActions implements mdp.Problem.
+func (m *Model) NumActions() int { return NumActions }
+
+// terminalIndex is the flat index of the absorbing post-encounter state.
+func (m *Model) terminalIndex() int { return m.ySpan * m.xSpan * m.ySpan }
+
+// Encode converts a State to its dense index. Altitudes are clamped to
+// [-YMax, YMax]; x_r below zero maps to the terminal state.
+func (m *Model) Encode(s State) int {
+	if s.XR < 0 {
+		return m.terminalIndex()
+	}
+	yo := clampInt(s.YO, -m.cfg.YMax, m.cfg.YMax) + m.cfg.YMax
+	yi := clampInt(s.YI, -m.cfg.YMax, m.cfg.YMax) + m.cfg.YMax
+	xr := clampInt(s.XR, 0, m.cfg.XMax)
+	return (yo*m.xSpan+xr)*m.ySpan + yi
+}
+
+// Decode converts a dense index back to a State. The terminal state decodes
+// to XR = -1.
+func (m *Model) Decode(idx int) State {
+	if idx == m.terminalIndex() {
+		return State{XR: -1}
+	}
+	yi := idx%m.ySpan - m.cfg.YMax
+	idx /= m.ySpan
+	xr := idx % m.xSpan
+	yo := idx/m.xSpan - m.cfg.YMax
+	return State{YO: yo, XR: xr, YI: yi}
+}
+
+// ownOutcomes returns the own-ship's vertical movement distribution under
+// the given action, per the paper's probabilistic own-ship dynamics.
+func (m *Model) ownOutcomes(a Action) []VerticalOutcome {
+	switch a {
+	case Up:
+		return []VerticalOutcome{
+			{Delta: +1, Prob: m.cfg.OwnIntended},
+			{Delta: 0, Prob: m.cfg.OwnStay},
+			{Delta: -1, Prob: m.cfg.OwnOpposite},
+		}
+	case Down:
+		return []VerticalOutcome{
+			{Delta: -1, Prob: m.cfg.OwnIntended},
+			{Delta: 0, Prob: m.cfg.OwnStay},
+			{Delta: +1, Prob: m.cfg.OwnOpposite},
+		}
+	default:
+		return []VerticalOutcome{
+			{Delta: 0, Prob: m.cfg.LevelStay},
+			{Delta: +1, Prob: m.cfg.LevelDrift},
+			{Delta: -1, Prob: m.cfg.LevelDrift},
+		}
+	}
+}
+
+// Transitions implements mdp.Problem. The intruder always moves one cell
+// left; both UAVs' vertical moves follow their noise distributions, with
+// altitudes clamped to the airspace bounds (probability mass of moves past a
+// bound collapses onto the bound).
+func (m *Model) Transitions(s, a int) []mdp.Transition {
+	if s == m.terminalIndex() {
+		return nil // absorbing: episode over
+	}
+	st := m.Decode(s)
+	if st.XR == 0 {
+		// The intruder passes behind the own-ship; the encounter ends.
+		return []mdp.Transition{{State: m.terminalIndex(), Prob: 1}}
+	}
+	action := Action(a)
+	own := m.ownOutcomes(action)
+	// Accumulate probabilities: clamping can merge outcomes.
+	acc := make(map[int]float64, len(own)*len(m.cfg.IntruderNoise))
+	for _, oo := range own {
+		for _, io := range m.cfg.IntruderNoise {
+			next := State{
+				YO: clampInt(st.YO+oo.Delta, -m.cfg.YMax, m.cfg.YMax),
+				XR: st.XR - 1,
+				YI: clampInt(st.YI+io.Delta, -m.cfg.YMax, m.cfg.YMax),
+			}
+			acc[m.Encode(next)] += oo.Prob * io.Prob
+		}
+	}
+	ts := make([]mdp.Transition, 0, len(acc))
+	for next, p := range acc {
+		ts = append(ts, mdp.Transition{State: next, Prob: p})
+	}
+	return ts
+}
+
+// Reward implements mdp.Problem: the action preference (level-off reward,
+// maneuver cost) plus the collision punishment when the current state is a
+// collision state.
+func (m *Model) Reward(s, a int) float64 {
+	if s == m.terminalIndex() {
+		return 0
+	}
+	st := m.Decode(s)
+	r := 0.0
+	if Action(a) == Level {
+		r += m.cfg.LevelReward
+	} else {
+		r -= m.cfg.ManeuverCost
+	}
+	if st.Collision() {
+		r -= m.cfg.CollisionCost
+	}
+	return r
+}
+
+func clampInt(v, lo, hi int) int {
+	switch {
+	case v < lo:
+		return lo
+	case v > hi:
+		return hi
+	default:
+		return v
+	}
+}

@@ -1,0 +1,165 @@
+package grid2d
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"strings"
+
+	"acasxval/internal/mdp"
+)
+
+// LogicTable is the generated collision avoidance logic for the section III
+// example: the optimal look-up table from state to action, exactly the
+// artifact the model-based optimization process produces.
+type LogicTable struct {
+	model  *Model
+	policy mdp.Policy
+	values []float64
+}
+
+// Solve runs dynamic programming (value iteration) on the model and returns
+// the optimal logic table. The example is episodic — the intruder passes
+// behind the own-ship after at most XMax+1 steps — so the solve is
+// undiscounted, like the fictional example in the paper.
+func Solve(m *Model) (*LogicTable, error) {
+	sol, err := mdp.ValueIteration(m, mdp.Options{
+		Discount:  1,
+		Tolerance: 1e-9,
+		// The episode length bounds the number of sweeps needed; leave
+		// generous room.
+		MaxIterations: m.cfg.XMax + 10,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("grid2d: solve: %w", err)
+	}
+	if !sol.Converged {
+		return nil, fmt.Errorf("grid2d: value iteration did not converge after %d sweeps (residual %v)",
+			sol.Iterations, sol.Residual)
+	}
+	return &LogicTable{model: m, policy: sol.Policy, values: sol.Values}, nil
+}
+
+// Action looks up the optimal action for a state.
+func (lt *LogicTable) Action(s State) Action {
+	return Action(lt.policy.Action(lt.model.Encode(s)))
+}
+
+// Value returns the optimal expected future reward from a state.
+func (lt *LogicTable) Value(s State) float64 {
+	return lt.values[lt.model.Encode(s)]
+}
+
+// Model returns the model the table was generated from.
+func (lt *LogicTable) Model() *Model { return lt.model }
+
+// RenderSlice renders the policy decisions for a fixed intruder altitude as
+// an ASCII table: rows are own-ship altitudes (top = +YMax), columns are
+// relative horizontal distances 0..XMax. Each cell shows the action
+// (. level, ^ up, v down).
+func (lt *LogicTable) RenderSlice(yi int) string {
+	cfg := lt.model.cfg
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "intruder altitude y_i = %+d (columns: x_r 0..%d)\n", yi, cfg.XMax)
+	for yo := cfg.YMax; yo >= -cfg.YMax; yo-- {
+		fmt.Fprintf(&sb, "y_o %+d |", yo)
+		for xr := 0; xr <= cfg.XMax; xr++ {
+			var c byte
+			switch lt.Action(State{YO: yo, XR: xr, YI: yi}) {
+			case Up:
+				c = '^'
+			case Down:
+				c = 'v'
+			default:
+				c = '.'
+			}
+			sb.WriteByte(' ')
+			sb.WriteByte(c)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Rollout is the outcome of simulating one encounter under a decision rule.
+type Rollout struct {
+	// Collided reports whether a collision state was reached.
+	Collided bool
+	// Steps is the number of simulated steps.
+	Steps int
+	// TotalReward is the accumulated reward of the episode.
+	TotalReward float64
+	// Maneuvers counts up/down actions taken.
+	Maneuvers int
+	// Path records the visited states, starting with the initial state.
+	Path []State
+}
+
+// Decider selects an action for a state; used so rollouts can compare the
+// generated logic against baselines (e.g. never maneuvering).
+type Decider func(State) Action
+
+// AlwaysLevel is the do-nothing baseline decision rule.
+func AlwaysLevel(State) Action { return Level }
+
+// Simulate rolls out one episode from the initial state under the given
+// decision rule, sampling the model's stochastic dynamics with rng.
+func (m *Model) Simulate(decide Decider, initial State, rng *rand.Rand) Rollout {
+	st := initial
+	out := Rollout{Path: []State{st}}
+	for st.XR >= 0 {
+		a := decide(st)
+		if st.Collision() {
+			out.Collided = true
+			out.TotalReward -= m.cfg.CollisionCost
+		}
+		if a == Level {
+			out.TotalReward += m.cfg.LevelReward
+		} else {
+			out.TotalReward -= m.cfg.ManeuverCost
+			out.Maneuvers++
+		}
+		if st.XR == 0 {
+			break
+		}
+		st = m.step(st, a, rng)
+		out.Path = append(out.Path, st)
+		out.Steps++
+	}
+	return out
+}
+
+// step samples the successor of (st, a).
+func (m *Model) step(st State, a Action, rng *rand.Rand) State {
+	return State{
+		YO: clampInt(st.YO+sampleOutcome(m.ownOutcomes(a), rng), -m.cfg.YMax, m.cfg.YMax),
+		XR: st.XR - 1,
+		YI: clampInt(st.YI+sampleOutcome(m.cfg.IntruderNoise, rng), -m.cfg.YMax, m.cfg.YMax),
+	}
+}
+
+func sampleOutcome(outcomes []VerticalOutcome, rng *rand.Rand) int {
+	u := rng.Float64()
+	acc := 0.0
+	for _, o := range outcomes {
+		acc += o.Prob
+		if u < acc {
+			return o.Delta
+		}
+	}
+	return outcomes[len(outcomes)-1].Delta
+}
+
+// CollisionRate estimates the collision probability from the given initial
+// state over n rollouts under the decision rule.
+func (m *Model) CollisionRate(decide Decider, initial State, n int, rng *rand.Rand) float64 {
+	if n <= 0 {
+		return 0
+	}
+	collisions := 0
+	for i := 0; i < n; i++ {
+		if m.Simulate(decide, initial, rng).Collided {
+			collisions++
+		}
+	}
+	return float64(collisions) / float64(n)
+}

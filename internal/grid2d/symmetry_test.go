@@ -1,0 +1,78 @@
+package grid2d
+
+import (
+	"math"
+	"testing"
+)
+
+// TestValueMirrorSymmetry: the section III model is symmetric under
+// reflecting both altitudes (y -> -y); the optimal values must be equal and
+// the optimal actions mirrored (up <-> down) wherever the optimum is
+// unique.
+func TestValueMirrorSymmetry(t *testing.T) {
+	m := mustModel(t)
+	lt := mustSolve(t, m)
+	cfg := m.Config()
+	for yo := -cfg.YMax; yo <= cfg.YMax; yo++ {
+		for xr := 0; xr <= cfg.XMax; xr++ {
+			for yi := -cfg.YMax; yi <= cfg.YMax; yi++ {
+				s := State{YO: yo, XR: xr, YI: yi}
+				mirror := State{YO: -yo, XR: xr, YI: -yi}
+				v1 := lt.Value(s)
+				v2 := lt.Value(mirror)
+				if math.Abs(v1-v2) > 1e-6 {
+					t.Fatalf("value asymmetry at %v: %v vs %v", s, v1, v2)
+				}
+			}
+		}
+	}
+}
+
+// TestPolicyMirrorConsistency: mirrored states get mirrored (or equally
+// valued) actions.
+func TestPolicyMirrorConsistency(t *testing.T) {
+	m := mustModel(t)
+	lt := mustSolve(t, m)
+	cfg := m.Config()
+	mirrorAction := func(a Action) Action {
+		switch a {
+		case Up:
+			return Down
+		case Down:
+			return Up
+		default:
+			return Level
+		}
+	}
+	for yo := -cfg.YMax; yo <= cfg.YMax; yo++ {
+		for xr := 0; xr <= cfg.XMax; xr++ {
+			for yi := -cfg.YMax; yi <= cfg.YMax; yi++ {
+				s := State{YO: yo, XR: xr, YI: yi}
+				ms := State{YO: -yo, XR: xr, YI: -yi}
+				a := lt.Action(s)
+				mb := lt.Action(ms)
+				if a == mirrorAction(mb) {
+					continue
+				}
+				// Argmax ties are legitimate: accept when both actions are
+				// equally valued in the original state.
+				qa := actionValue(m, lt, s, a)
+				qb := actionValue(m, lt, s, mirrorAction(mb))
+				if math.Abs(qa-qb) > 1e-6 {
+					t.Fatalf("policy asymmetry at %v: %v vs mirrored %v (q %v vs %v)",
+						s, a, mb, qa, qb)
+				}
+			}
+		}
+	}
+}
+
+// actionValue computes Q(s, a) from the solved values.
+func actionValue(m *Model, lt *LogicTable, s State, a Action) float64 {
+	idx := m.Encode(s)
+	q := m.Reward(idx, int(a))
+	for _, tr := range m.Transitions(idx, int(a)) {
+		q += tr.Prob * lt.values[tr.State]
+	}
+	return q
+}

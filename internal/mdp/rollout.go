@@ -1,0 +1,87 @@
+package mdp
+
+import (
+	"fmt"
+	"math/rand/v2"
+)
+
+// RolloutResult is one sampled trajectory through an MDP.
+type RolloutResult struct {
+	// States visited, starting with the initial state.
+	States []int
+	// Actions taken, one per transition (len(States)-1 when the episode
+	// terminated, len(States) if the step limit was hit after an action).
+	Actions []int
+	// TotalReward is the (discounted) return of the episode.
+	TotalReward float64
+	// Terminated reports whether a terminal (s, a) was reached before the
+	// step limit.
+	Terminated bool
+}
+
+// Rollout samples one trajectory from the MDP under the policy, starting at
+// state start, for at most maxSteps decisions. Terminal (s, a) pairs (empty
+// transition lists) end the episode after collecting their reward.
+func Rollout(p Problem, pol Policy, start int, maxSteps int, discount float64, rng *rand.Rand) (RolloutResult, error) {
+	if start < 0 || start >= p.NumStates() {
+		return RolloutResult{}, fmt.Errorf("mdp: start state %d out of range", start)
+	}
+	if len(pol) != p.NumStates() {
+		return RolloutResult{}, fmt.Errorf("mdp: policy has %d entries for %d states", len(pol), p.NumStates())
+	}
+	if maxSteps < 1 {
+		return RolloutResult{}, fmt.Errorf("mdp: maxSteps %d < 1", maxSteps)
+	}
+	if discount <= 0 || discount > 1 {
+		return RolloutResult{}, fmt.Errorf("mdp: discount %v outside (0, 1]", discount)
+	}
+	out := RolloutResult{States: []int{start}}
+	s := start
+	weight := 1.0
+	for step := 0; step < maxSteps; step++ {
+		a := pol.Action(s)
+		out.Actions = append(out.Actions, a)
+		out.TotalReward += weight * p.Reward(s, a)
+		ts := p.Transitions(s, a)
+		if len(ts) == 0 {
+			out.Terminated = true
+			return out, nil
+		}
+		s = sampleTransition(ts, rng)
+		out.States = append(out.States, s)
+		weight *= discount
+	}
+	return out, nil
+}
+
+// sampleTransition draws a successor from the distribution.
+func sampleTransition(ts []Transition, rng *rand.Rand) int {
+	u := rng.Float64()
+	acc := 0.0
+	for _, tr := range ts {
+		acc += tr.Prob
+		if u < acc {
+			return tr.State
+		}
+	}
+	return ts[len(ts)-1].State
+}
+
+// EstimateReturn Monte-Carlo-estimates the expected (discounted) return of
+// the policy from the start state over n rollouts. It provides an
+// independent check of the dynamic-programming values: for a correct
+// solver, the estimate converges on Values[start].
+func EstimateReturn(p Problem, pol Policy, start, n, maxSteps int, discount float64, rng *rand.Rand) (float64, error) {
+	if n < 1 {
+		return 0, fmt.Errorf("mdp: n %d < 1", n)
+	}
+	total := 0.0
+	for i := 0; i < n; i++ {
+		r, err := Rollout(p, pol, start, maxSteps, discount, rng)
+		if err != nil {
+			return 0, err
+		}
+		total += r.TotalReward
+	}
+	return total / float64(n), nil
+}

@@ -1,0 +1,108 @@
+package mdp
+
+import (
+	"math"
+	"testing"
+
+	"acasxval/internal/stats"
+)
+
+func TestRolloutValidation(t *testing.T) {
+	p := twoStateChain()
+	pol := Policy{1, 0}
+	rng := stats.NewRNG(1)
+	if _, err := Rollout(p, pol, -1, 10, 1, rng); err == nil {
+		t.Error("bad start accepted")
+	}
+	if _, err := Rollout(p, Policy{0}, 0, 10, 1, rng); err == nil {
+		t.Error("short policy accepted")
+	}
+	if _, err := Rollout(p, pol, 0, 0, 1, rng); err == nil {
+		t.Error("zero steps accepted")
+	}
+	if _, err := Rollout(p, pol, 0, 10, 0, rng); err == nil {
+		t.Error("zero discount accepted")
+	}
+	if _, err := EstimateReturn(p, pol, 0, 0, 10, 1, rng); err == nil {
+		t.Error("zero rollouts accepted")
+	}
+}
+
+func TestRolloutEpisodic(t *testing.T) {
+	// Corridor 0 -> 1 -> 2(terminal), reward 5 on the middle step.
+	p := NewTabular(3, 1)
+	p.AddTransition(0, 0, 1, 1)
+	p.AddTransition(1, 0, 2, 1)
+	p.SetReward(1, 0, 5)
+	rng := stats.NewRNG(2)
+	out, err := Rollout(p, Policy{0, 0, 0}, 0, 100, 1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Terminated {
+		t.Error("episode did not terminate")
+	}
+	if len(out.States) != 3 || out.States[2] != 2 {
+		t.Errorf("states = %v", out.States)
+	}
+	if out.TotalReward != 5 {
+		t.Errorf("return = %v, want 5", out.TotalReward)
+	}
+}
+
+func TestRolloutStepLimit(t *testing.T) {
+	p := twoStateChain()
+	rng := stats.NewRNG(3)
+	out, err := Rollout(p, Policy{0, 0}, 0, 7, 1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Terminated {
+		t.Error("non-episodic chain terminated")
+	}
+	if len(out.Actions) != 7 {
+		t.Errorf("actions = %d, want 7", len(out.Actions))
+	}
+	// Staying in state 0 with reward 1 for 7 undiscounted steps.
+	if out.TotalReward != 7 {
+		t.Errorf("return = %v, want 7", out.TotalReward)
+	}
+}
+
+// TestEstimateReturnMatchesDP: the Monte-Carlo return estimate must agree
+// with the dynamic-programming value — an independent end-to-end check of
+// both the solver and the sampler.
+func TestEstimateReturnMatchesDP(t *testing.T) {
+	p := randomMDP(30, 3, 11)
+	const g = 0.9
+	sol, err := ValueIteration(p, Options{Discount: g, Tolerance: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(4)
+	// Long horizon: gamma^200 ~ 7e-10, truncation bias negligible.
+	got, err := EstimateReturn(p, sol.Policy, 0, 20000, 200, g, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sol.Values[0]
+	if math.Abs(got-want) > 0.15*(1+math.Abs(want)) {
+		t.Errorf("MC return %v vs DP value %v", got, want)
+	}
+}
+
+func TestSampleTransitionDistribution(t *testing.T) {
+	ts := []Transition{{State: 0, Prob: 0.2}, {State: 1, Prob: 0.5}, {State: 2, Prob: 0.3}}
+	rng := stats.NewRNG(5)
+	counts := make([]int, 3)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[sampleTransition(ts, rng)]++
+	}
+	for i, tr := range ts {
+		got := float64(counts[i]) / n
+		if math.Abs(got-tr.Prob) > 0.01 {
+			t.Errorf("state %d frequency %v, want %v", i, got, tr.Prob)
+		}
+	}
+}

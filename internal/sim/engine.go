@@ -1,0 +1,205 @@
+// Package sim is the agent-based simulation engine for two-UAV encounter
+// studies: a discrete-time scheduler stepping UAV agents, a pluggable
+// collision avoidance System interface, ADS-B surveillance with sensor
+// noise and optional track filtering, sense coordination between aircraft,
+// and the paper's two monitors — the Proximity Measurer ("measures the
+// proximities (in horizontal distance and vertical distance) between the
+// own-ship and the intruder at each simulation step, and records the
+// minimum proximity experienced") and the Accident Detector ("monitors the
+// simulations and detects any mid-air collisions").
+//
+// The engine fills the role MASON plays in the paper's Java tool: it runs
+// headless and deterministic under a seed, which is what makes it usable
+// inside a search loop.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"acasxval/internal/geom"
+	"acasxval/internal/uav"
+)
+
+// Sense is a vertical maneuver direction used for coordination.
+type Sense int
+
+// Maneuver senses.
+const (
+	SenseNone Sense = 0
+	SenseUp   Sense = 1
+	SenseDown Sense = -1
+)
+
+// Constraint carries coordination restrictions into a decision: senses the
+// peer aircraft has claimed.
+type Constraint struct {
+	BanUp   bool
+	BanDown bool
+}
+
+// Decision is the output of one collision avoidance decision cycle.
+type Decision struct {
+	// Cmd is the vertical maneuver command; meaningful when HasCmd.
+	Cmd uav.Command
+	// HasCmd is false when the system commands a return to plan (clear of
+	// conflict).
+	HasCmd bool
+	// Alerting reports whether the system is actively advising.
+	Alerting bool
+	// NewAlert reports a no-alert -> alert transition this cycle.
+	NewAlert bool
+	// Sense is the claimed vertical direction, for coordination.
+	Sense Sense
+}
+
+// System is a pluggable collision avoidance system under test. The engine
+// calls Decide once per decision period with the aircraft's own true state
+// and the (noisy, possibly filtered) intruder track.
+type System interface {
+	// Decide runs one decision cycle.
+	Decide(now float64, own uav.State, intrPos, intrVel geom.Vec3, c Constraint) Decision
+	// Reset prepares the system for a fresh encounter.
+	Reset()
+}
+
+// NoSystem is the unequipped baseline: it never commands anything.
+type NoSystem struct{}
+
+var _ System = NoSystem{}
+
+// Decide implements System: always clear of conflict.
+func (NoSystem) Decide(float64, uav.State, geom.Vec3, geom.Vec3, Constraint) Decision {
+	return Decision{}
+}
+
+// Reset implements System.
+func (NoSystem) Reset() {}
+
+// ProximityMeasurer tracks the minimum separations seen so far. The three
+// minima are tracked independently (the minimum horizontal separation may
+// occur at a different instant than the minimum vertical separation), plus
+// the joint 3-D minimum used by the search fitness.
+type ProximityMeasurer struct {
+	minHorizontal float64
+	minVertical   float64
+	min3D         float64
+	at3D          float64 // time of the 3-D minimum
+	seen          bool
+}
+
+// NewProximityMeasurer returns an empty measurer.
+func NewProximityMeasurer() *ProximityMeasurer {
+	return &ProximityMeasurer{
+		minHorizontal: math.Inf(1),
+		minVertical:   math.Inf(1),
+		min3D:         math.Inf(1),
+	}
+}
+
+// Observe feeds one pair of positions at time now.
+func (p *ProximityMeasurer) Observe(now float64, a, b geom.Vec3) {
+	p.seen = true
+	if d := a.HorizontalDistanceTo(b); d < p.minHorizontal {
+		p.minHorizontal = d
+	}
+	if d := a.VerticalDistanceTo(b); d < p.minVertical {
+		p.minVertical = d
+	}
+	if d := a.DistanceTo(b); d < p.min3D {
+		p.min3D = d
+		p.at3D = now
+	}
+}
+
+// MinHorizontal returns the minimum horizontal separation observed.
+func (p *ProximityMeasurer) MinHorizontal() float64 { return p.minHorizontal }
+
+// MinVertical returns the minimum vertical separation observed.
+func (p *ProximityMeasurer) MinVertical() float64 { return p.minVertical }
+
+// Min3D returns the minimum 3-D separation observed and its time.
+func (p *ProximityMeasurer) Min3D() (float64, float64) { return p.min3D, p.at3D }
+
+// Seen reports whether any observation was made.
+func (p *ProximityMeasurer) Seen() bool { return p.seen }
+
+// AccidentDetector detects near mid-air collisions: simultaneous horizontal
+// and vertical proximity inside the NMAC cylinder (500 ft / 100 ft) — the
+// paper's mid-air collision criterion (the same cylinder the MDP's
+// collision cost is attached to).
+type AccidentDetector struct {
+	horizontalLimit float64
+	verticalLimit   float64
+	nmac            bool
+	nmacTime        float64
+}
+
+// NewAccidentDetector returns a detector with the standard NMAC cylinder.
+func NewAccidentDetector() *AccidentDetector {
+	return &AccidentDetector{
+		horizontalLimit: geom.NMACHorizontal,
+		verticalLimit:   geom.NMACVertical,
+	}
+}
+
+// Observe feeds one pair of positions at time now.
+func (d *AccidentDetector) Observe(now float64, a, b geom.Vec3) {
+	if d.nmac {
+		return
+	}
+	if a.HorizontalDistanceTo(b) < d.horizontalLimit && a.VerticalDistanceTo(b) < d.verticalLimit {
+		d.nmac = true
+		d.nmacTime = now
+	}
+}
+
+// NMAC reports whether a near mid-air collision was detected, and when.
+func (d *AccidentDetector) NMAC() (bool, float64) { return d.nmac, d.nmacTime }
+
+// sampleSeparationFine linearly interpolates both trajectories across a
+// step and feeds sub-sampled positions to the monitors so that fast
+// crossings are not stepped over.
+func sampleSeparationFine(t0, dt float64, aFrom, aTo, bFrom, bTo geom.Vec3, subSteps int, observe func(now float64, a, b geom.Vec3)) {
+	if subSteps < 1 {
+		subSteps = 1
+	}
+	for i := 1; i <= subSteps; i++ {
+		f := float64(i) / float64(subSteps)
+		observe(t0+f*dt, aFrom.Lerp(aTo, f), bFrom.Lerp(bTo, f))
+	}
+}
+
+// Clock tracks simulation time.
+type Clock struct {
+	now float64
+	dt  float64
+}
+
+// NewClock creates a clock with the given step.
+func NewClock(dt float64) (*Clock, error) {
+	if dt <= 0 {
+		return nil, fmt.Errorf("sim: non-positive dt %v", dt)
+	}
+	return &Clock{dt: dt}, nil
+}
+
+// Now returns the current simulation time.
+func (c *Clock) Now() float64 { return c.now }
+
+// Dt returns the step size.
+func (c *Clock) Dt() float64 { return c.dt }
+
+// Tick advances the clock one step and returns the new time.
+func (c *Clock) Tick() float64 {
+	c.now += c.dt
+	return c.now
+}
+
+// Rand derives a child RNG stream for component index i of a run seeded
+// with seed: every aircraft/sensor gets an independent deterministic
+// stream, so adding a consumer does not perturb the others.
+func Rand(seed uint64, i int) *rand.Rand {
+	return rand.New(rand.NewPCG(seed+uint64(i)*0x9E3779B97F4A7C15, seed^0xD1B54A32D192ED03+uint64(i)))
+}

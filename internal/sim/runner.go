@@ -1,0 +1,287 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"acasxval/internal/encounter"
+	"acasxval/internal/geom"
+	"acasxval/internal/tracker"
+	"acasxval/internal/uav"
+)
+
+// RunConfig parameterizes one encounter simulation.
+type RunConfig struct {
+	// Dt is the integration step, seconds (default 0.1).
+	Dt float64
+	// DecisionPeriod is the collision avoidance decision interval, seconds
+	// (default 1, the usual surveillance rate).
+	DecisionPeriod float64
+	// Overtime is how long the simulation continues past the nominal time
+	// to CPA, seconds (default 30): late conflicts — the tail-approach
+	// failure mode — happen after the nominal CPA.
+	Overtime float64
+	// OwnUAV and IntruderUAV are the aircraft performance/disturbance
+	// models.
+	OwnUAV, IntruderUAV uav.Config
+	// Sensor is the ADS-B error model applied to each aircraft's view of
+	// the other.
+	Sensor uav.SensorModel
+	// UseTracker enables alpha-beta filtering of the received track.
+	UseTracker bool
+	// Tracker is the filter configuration when UseTracker is set.
+	Tracker tracker.Config
+	// Coordination enables maneuver-sense coordination between the
+	// aircraft (paper section VI.C).
+	Coordination bool
+	// RecordTrajectory retains per-step trajectory points in the Result.
+	RecordTrajectory bool
+	// MonitorSubSteps sub-samples each integration step when feeding the
+	// monitors (default 2).
+	MonitorSubSteps int
+}
+
+// DefaultRunConfig returns the configuration used by the paper-style
+// experiments: 1 Hz decisions, noisy ADS-B, coordination on.
+func DefaultRunConfig() RunConfig {
+	return RunConfig{
+		Dt:              0.1,
+		DecisionPeriod:  1.0,
+		Overtime:        30,
+		OwnUAV:          uav.DefaultConfig(),
+		IntruderUAV:     uav.DefaultConfig(),
+		Sensor:          uav.DefaultSensorModel(),
+		UseTracker:      true,
+		Tracker:         tracker.DefaultConfig(),
+		Coordination:    true,
+		MonitorSubSteps: 2,
+	}
+}
+
+// Validate checks the configuration.
+func (c RunConfig) Validate() error {
+	if c.Dt <= 0 {
+		return fmt.Errorf("sim: Dt %v <= 0", c.Dt)
+	}
+	if c.DecisionPeriod < c.Dt {
+		return fmt.Errorf("sim: DecisionPeriod %v < Dt %v", c.DecisionPeriod, c.Dt)
+	}
+	if c.Overtime < 0 {
+		return fmt.Errorf("sim: negative Overtime %v", c.Overtime)
+	}
+	if err := c.OwnUAV.Validate(); err != nil {
+		return err
+	}
+	if err := c.IntruderUAV.Validate(); err != nil {
+		return err
+	}
+	if err := c.Sensor.Validate(); err != nil {
+		return err
+	}
+	if c.UseTracker {
+		if err := c.Tracker.Validate(); err != nil {
+			return err
+		}
+	}
+	if c.MonitorSubSteps < 0 {
+		return fmt.Errorf("sim: negative MonitorSubSteps")
+	}
+	return nil
+}
+
+// TrajectoryPoint is one recorded sample of an encounter.
+type TrajectoryPoint struct {
+	T        float64
+	Own      uav.State
+	Intruder uav.State
+	// OwnAlerting/IntruderAlerting record whether each CAS was advising.
+	OwnAlerting      bool
+	IntruderAlerting bool
+	// OwnSense/IntruderSense are the claimed maneuver senses.
+	OwnSense      Sense
+	IntruderSense Sense
+}
+
+// Result summarizes one simulated encounter.
+type Result struct {
+	// NMAC reports a detected near mid-air collision and its time.
+	NMAC     bool
+	NMACTime float64
+	// MinSeparation is the minimum 3-D separation over the run, metres,
+	// and the time it occurred.
+	MinSeparation   float64
+	MinSeparationAt float64
+	// MinHorizontal and MinVertical are the independent minima the
+	// paper's Proximity Measurer records.
+	MinHorizontal float64
+	MinVertical   float64
+	// OwnAlerts / IntruderAlerts count no-alert -> alert transitions.
+	OwnAlerts      int
+	IntruderAlerts int
+	// OwnAlertTime is the first time the own-ship alerted (-1 if never).
+	OwnAlertTime float64
+	// Duration is the simulated time span.
+	Duration float64
+	// Trajectory is non-nil when RecordTrajectory was set.
+	Trajectory []TrajectoryPoint
+}
+
+// Alerted reports whether either aircraft alerted during the run.
+func (r Result) Alerted() bool { return r.OwnAlerts > 0 || r.IntruderAlerts > 0 }
+
+// aircraft bundles one simulated aircraft with its CAS and its view of the
+// peer.
+type aircraft struct {
+	vehicle *uav.UAV
+	system  System
+	track   *tracker.Tracker
+	// lastDecision caches the most recent decision for coordination.
+	lastDecision Decision
+	alerts       int
+	firstAlertAt float64
+}
+
+// RunEncounter simulates one encounter between two aircraft equipped with
+// the given collision avoidance systems (use NoSystem for an unequipped
+// aircraft). The run is deterministic for a given seed. Systems are Reset
+// before use.
+func RunEncounter(p encounter.Params, ownSys, intrSys System, cfg RunConfig, seed uint64) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	ownInit, intrInit := encounter.Generate(p)
+	ownUAV, err := uav.New(cfg.OwnUAV, ownInit)
+	if err != nil {
+		return Result{}, err
+	}
+	intrUAV, err := uav.New(cfg.IntruderUAV, intrInit)
+	if err != nil {
+		return Result{}, err
+	}
+	ownSys.Reset()
+	intrSys.Reset()
+
+	mkTracker := func() *tracker.Tracker {
+		if !cfg.UseTracker {
+			return nil
+		}
+		tr, err := tracker.New(cfg.Tracker)
+		if err != nil {
+			return nil
+		}
+		return tr
+	}
+
+	own := &aircraft{vehicle: ownUAV, system: ownSys, track: mkTracker(), firstAlertAt: -1}
+	intr := &aircraft{vehicle: intrUAV, system: intrSys, track: mkTracker(), firstAlertAt: -1}
+
+	// Independent deterministic RNG streams: dynamics x2, sensors x2.
+	ownDyn := Rand(seed, 0)
+	intrDyn := Rand(seed, 1)
+	ownSensor := Rand(seed, 2)
+	intrSensor := Rand(seed, 3)
+
+	duration := p.TimeToCPA + cfg.Overtime
+	clock, err := NewClock(cfg.Dt)
+	if err != nil {
+		return Result{}, err
+	}
+	prox := NewProximityMeasurer()
+	accident := NewAccidentDetector()
+
+	res := Result{OwnAlertTime: -1}
+	observe := func(now float64, a, b geom.Vec3) {
+		prox.Observe(now, a, b)
+		accident.Observe(now, a, b)
+	}
+	observe(0, ownUAV.State().Pos, intrUAV.State().Pos)
+	record := func(now float64) {
+		if !cfg.RecordTrajectory {
+			return
+		}
+		res.Trajectory = append(res.Trajectory, TrajectoryPoint{
+			T:                now,
+			Own:              ownUAV.State(),
+			Intruder:         intrUAV.State(),
+			OwnAlerting:      own.lastDecision.Alerting,
+			IntruderAlerting: intr.lastDecision.Alerting,
+			OwnSense:         own.lastDecision.Sense,
+			IntruderSense:    intr.lastDecision.Sense,
+		})
+	}
+	record(0)
+
+	nextDecision := 0.0
+	for clock.Now() < duration {
+		now := clock.Now()
+		if now >= nextDecision {
+			decide(now, own, intr, cfg, ownSensor)
+			decide(now, intr, own, cfg, intrSensor)
+			nextDecision += cfg.DecisionPeriod
+		}
+		ownBefore := ownUAV.State().Pos
+		intrBefore := intrUAV.State().Pos
+		ownUAV.Step(cfg.Dt, ownDyn)
+		intrUAV.Step(cfg.Dt, intrDyn)
+		sampleSeparationFine(now, cfg.Dt, ownBefore, ownUAV.State().Pos, intrBefore, intrUAV.State().Pos,
+			cfg.MonitorSubSteps, observe)
+		clock.Tick()
+		record(clock.Now())
+	}
+
+	res.NMAC, res.NMACTime = accident.NMAC()
+	res.MinSeparation, res.MinSeparationAt = prox.Min3D()
+	res.MinHorizontal = prox.MinHorizontal()
+	res.MinVertical = prox.MinVertical()
+	res.OwnAlerts = own.alerts
+	res.IntruderAlerts = intr.alerts
+	res.OwnAlertTime = own.firstAlertAt
+	res.Duration = clock.Now()
+	return res, nil
+}
+
+// decide runs one decision cycle for aircraft a against peer b.
+func decide(now float64, a, b *aircraft, cfg RunConfig, sensorRNG *rand.Rand) {
+	// Surveillance: a receives b's broadcast with sensor noise.
+	rep := cfg.Sensor.Observe(b.vehicle.State(), now, sensorRNG)
+	var pos, vel geom.Vec3
+	haveTrack := false
+	if a.track != nil {
+		if rep.Valid {
+			est := a.track.Update(rep.Pos, rep.Vel, now)
+			pos, vel, haveTrack = est.Pos, est.Vel, est.Initialized
+		} else if est := a.track.Predict(now); est.Initialized {
+			pos, vel, haveTrack = est.Pos, est.Vel, true
+		}
+	} else if rep.Valid {
+		pos, vel, haveTrack = rep.Pos, rep.Vel, true
+	}
+	if !haveTrack {
+		// No surveillance: keep flying the current command.
+		return
+	}
+
+	var constraint Constraint
+	if cfg.Coordination {
+		switch b.lastDecision.Sense {
+		case SenseUp:
+			constraint.BanUp = true
+		case SenseDown:
+			constraint.BanDown = true
+		}
+	}
+
+	d := a.system.Decide(now, a.vehicle.State(), pos, vel, constraint)
+	if d.NewAlert {
+		a.alerts++
+		if a.firstAlertAt < 0 {
+			a.firstAlertAt = now
+		}
+	}
+	a.lastDecision = d
+	if d.HasCmd {
+		a.vehicle.Command(d.Cmd)
+	} else {
+		a.vehicle.ClearCommand()
+	}
+}

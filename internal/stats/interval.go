@@ -1,0 +1,124 @@
+package stats
+
+import "math"
+
+// Interval is a two-sided confidence interval.
+type Interval struct {
+	Lo, Hi float64
+}
+
+// Contains reports whether x lies inside the closed interval.
+func (iv Interval) Contains(x float64) bool { return x >= iv.Lo && x <= iv.Hi }
+
+// Width returns Hi - Lo.
+func (iv Interval) Width() float64 { return iv.Hi - iv.Lo }
+
+// zForConfidence returns the standard-normal quantile for the given two-sided
+// confidence level, e.g. 1.959964 for 0.95. Levels outside (0, 1) fall back
+// to 0.95.
+func zForConfidence(level float64) float64 {
+	if level <= 0 || level >= 1 {
+		level = 0.95
+	}
+	return normQuantile(0.5 + level/2)
+}
+
+// normQuantile computes the standard normal quantile using the
+// Beasley-Springer-Moro rational approximation (accurate to ~1e-9 across the
+// open unit interval).
+func normQuantile(p float64) float64 {
+	if p <= 0 {
+		return math.Inf(-1)
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	a := [6]float64{
+		-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02,
+		1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00,
+	}
+	b := [5]float64{
+		-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02,
+		6.680131188771972e+01, -1.328068155288572e+01,
+	}
+	c := [6]float64{
+		-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00,
+		-2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00,
+	}
+	d := [4]float64{
+		7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00,
+		3.754408661907416e+00,
+	}
+	const plow, phigh = 0.02425, 1 - 0.02425
+	switch {
+	case p < plow:
+		q := math.Sqrt(-2 * math.Log(p))
+		return (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p > phigh:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		return -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	default:
+		q := p - 0.5
+		r := q * q
+		return (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	}
+}
+
+// MeanCI returns a normal-approximation confidence interval for the mean of
+// the accumulated observations at the given confidence level (e.g. 0.95).
+func (a *Accumulator) MeanCI(level float64) Interval {
+	if a.n == 0 {
+		return Interval{}
+	}
+	z := zForConfidence(level)
+	half := z * a.StdErr()
+	return Interval{Lo: a.mean - half, Hi: a.mean + half}
+}
+
+// WilsonCI returns the Wilson score confidence interval for a binomial
+// proportion with successes out of trials at the given confidence level.
+// The Wilson interval remains sensible for rare events (successes near 0),
+// which is exactly the mid-air-collision regime the paper cares about.
+func WilsonCI(successes, trials int, level float64) Interval {
+	if trials <= 0 {
+		return Interval{Lo: 0, Hi: 1}
+	}
+	z := zForConfidence(level)
+	n := float64(trials)
+	p := float64(successes) / n
+	z2 := z * z
+	denom := 1 + z2/n
+	center := (p + z2/(2*n)) / denom
+	half := z * math.Sqrt(p*(1-p)/n+z2/(4*n*n)) / denom
+	lo := center - half
+	hi := center + half
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return Interval{Lo: lo, Hi: hi}
+}
+
+// Proportion is a convenience record for an estimated event probability.
+type Proportion struct {
+	Successes int
+	Trials    int
+}
+
+// Estimate returns the point estimate successes/trials (0 when trials is 0).
+func (p Proportion) Estimate() float64 {
+	if p.Trials == 0 {
+		return 0
+	}
+	return float64(p.Successes) / float64(p.Trials)
+}
+
+// CI returns the Wilson interval for the proportion.
+func (p Proportion) CI(level float64) Interval {
+	return WilsonCI(p.Successes, p.Trials, level)
+}

@@ -1,0 +1,44 @@
+// Package stats provides the light-weight statistics and deterministic
+// random-number plumbing shared by the simulators, the Monte-Carlo harness
+// and the genetic algorithm: streaming moment accumulators, confidence
+// intervals for rare-event probabilities, histograms, and reproducible RNG
+// fan-out so that parallel workers stay deterministic under a single seed.
+package stats
+
+import "math/rand/v2"
+
+// NewRNG returns a deterministic PCG-backed random source for the given
+// 64-bit seed. Two calls with the same seed produce identical streams.
+func NewRNG(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, seed^0x9E3779B97F4A7C15))
+}
+
+// splitmix64 advances a splitmix64 state and returns the next output. It is
+// used to derive well-distributed child seeds from a parent seed.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9E3779B97F4A7C15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// DeriveSeed deterministically derives the index-th child seed from a parent
+// seed. Children with different indices are statistically independent, which
+// lets parallel workers each own a private RNG while the whole run remains
+// reproducible.
+func DeriveSeed(parent uint64, index int) uint64 {
+	state := parent ^ 0xD1B54A32D192ED03
+	// Mix the index in twice through splitmix to decorrelate adjacent
+	// indices.
+	state += uint64(index) * 0x2545F4914F6CDD1D
+	s := splitmix64(&state)
+	state ^= s
+	return splitmix64(&state)
+}
+
+// NewChildRNG returns a deterministic RNG for the index-th child of a parent
+// seed. Shorthand for NewRNG(DeriveSeed(parent, index)).
+func NewChildRNG(parent uint64, index int) *rand.Rand {
+	return NewRNG(DeriveSeed(parent, index))
+}

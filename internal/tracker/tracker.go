@@ -1,0 +1,129 @@
+// Package tracker provides a per-axis alpha-beta track filter that smooths
+// noisy ADS-B position/velocity reports before they reach the collision
+// avoidance logic. Raw white-noise measurements (the paper's explicit sensor
+// model) make the estimated closure rate — and hence the tau used by the
+// logic — jitter; a simple fixed-gain filter is the standard surveillance
+// front end for that problem.
+package tracker
+
+import (
+	"fmt"
+
+	"acasxval/internal/geom"
+)
+
+// Estimate is the filtered kinematic state of a tracked aircraft.
+type Estimate struct {
+	Pos geom.Vec3
+	Vel geom.Vec3
+	// Time is the simulation time of the estimate.
+	Time float64
+	// Initialized is false until the first measurement has been absorbed.
+	Initialized bool
+}
+
+// Config holds the filter gains. Alpha corrects position, Beta corrects
+// velocity from the position innovation, and VelGain blends the measured
+// velocity directly (ADS-B reports velocity as well as position, so the
+// filter can use both).
+type Config struct {
+	// Alpha is the position gain in (0, 1].
+	Alpha float64
+	// Beta is the velocity-from-innovation gain in [0, 2).
+	Beta float64
+	// VelGain blends the directly measured velocity in [0, 1].
+	VelGain float64
+	// CoastLimit is the maximum time (seconds) the track may be predicted
+	// forward without a measurement before it drops back to uninitialized.
+	CoastLimit float64
+}
+
+// DefaultConfig returns moderately smoothing gains appropriate for
+// GPS-grade ADS-B noise at 1 Hz.
+func DefaultConfig() Config {
+	return Config{Alpha: 0.6, Beta: 0.2, VelGain: 0.5, CoastLimit: 5}
+}
+
+// Validate checks gain ranges.
+func (c Config) Validate() error {
+	if c.Alpha <= 0 || c.Alpha > 1 {
+		return fmt.Errorf("tracker: alpha %v outside (0, 1]", c.Alpha)
+	}
+	if c.Beta < 0 || c.Beta >= 2 {
+		return fmt.Errorf("tracker: beta %v outside [0, 2)", c.Beta)
+	}
+	if c.VelGain < 0 || c.VelGain > 1 {
+		return fmt.Errorf("tracker: velocity gain %v outside [0, 1]", c.VelGain)
+	}
+	if c.CoastLimit < 0 {
+		return fmt.Errorf("tracker: negative coast limit %v", c.CoastLimit)
+	}
+	return nil
+}
+
+// Tracker filters a stream of timestamped position/velocity measurements.
+type Tracker struct {
+	cfg Config
+	est Estimate
+}
+
+// New creates a tracker; the first Update initializes the track directly
+// from the measurement.
+func New(cfg Config) (*Tracker, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Tracker{cfg: cfg}, nil
+}
+
+// Estimate returns the current track estimate.
+func (t *Tracker) Estimate() Estimate { return t.est }
+
+// Reset drops the track back to uninitialized.
+func (t *Tracker) Reset() { t.est = Estimate{} }
+
+// Predict advances the estimate to time now without a measurement (dead
+// reckoning). If the track coasts past the coast limit it resets.
+func (t *Tracker) Predict(now float64) Estimate {
+	if !t.est.Initialized {
+		return t.est
+	}
+	dt := now - t.est.Time
+	if dt <= 0 {
+		return t.est
+	}
+	if t.cfg.CoastLimit > 0 && dt > t.cfg.CoastLimit {
+		t.Reset()
+		return t.est
+	}
+	t.est.Pos = t.est.Pos.Add(t.est.Vel.Scale(dt))
+	t.est.Time = now
+	return t.est
+}
+
+// Update absorbs a measurement of position and velocity at time now and
+// returns the new estimate. Out-of-order measurements (now earlier than the
+// track time) are ignored.
+func (t *Tracker) Update(pos, vel geom.Vec3, now float64) Estimate {
+	if !t.est.Initialized {
+		t.est = Estimate{Pos: pos, Vel: vel, Time: now, Initialized: true}
+		return t.est
+	}
+	dt := now - t.est.Time
+	if dt < 0 {
+		return t.est
+	}
+	// Predict.
+	pred := t.est.Pos.Add(t.est.Vel.Scale(dt))
+	// Correct.
+	innovation := pos.Sub(pred)
+	t.est.Pos = pred.Add(innovation.Scale(t.cfg.Alpha))
+	velFromInnovation := t.est.Vel
+	if dt > 0 {
+		velFromInnovation = t.est.Vel.Add(innovation.Scale(t.cfg.Beta / dt))
+	}
+	// Blend the innovation-corrected velocity with the measured velocity.
+	t.est.Vel = velFromInnovation.Lerp(vel, t.cfg.VelGain)
+	t.est.Time = now
+	return t.est
+}

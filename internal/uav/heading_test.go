@@ -1,0 +1,103 @@
+package uav
+
+import (
+	"math"
+	"testing"
+
+	"acasxval/internal/geom"
+)
+
+func TestHeadingCommandTurnsAtRateLimit(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ResponseDelay = 0
+	u, err := New(cfg, State{Vel: geom.Velocity{Gs: 50, Psi: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := math.Pi / 2
+	u.Command(Command{HasHeading: true, TargetHeading: target})
+	u.Step(1, nil)
+	// After 1 s the heading change equals the turn-rate limit.
+	if got := u.State().Vel.Psi; math.Abs(got-cfg.TurnRate) > 1e-9 {
+		t.Errorf("psi after 1 s = %v, want %v", got, cfg.TurnRate)
+	}
+	// Eventually the target is captured exactly.
+	for i := 0; i < 60; i++ {
+		u.Step(1, nil)
+	}
+	if got := u.State().Vel.Psi; math.Abs(geom.WrapSigned(got-target)) > 1e-9 {
+		t.Errorf("psi after capture = %v, want %v", got, target)
+	}
+}
+
+func TestHeadingCommandShortestWay(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ResponseDelay = 0
+	// Heading 0.1 rad, target 2*pi - 0.1: the shortest way is negative
+	// (through zero), not the long way around.
+	u, err := New(cfg, State{Vel: geom.Velocity{Gs: 50, Psi: 0.1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u.Command(Command{HasHeading: true, TargetHeading: 2*math.Pi - 0.1})
+	u.Step(1, nil)
+	got := geom.WrapSigned(u.State().Vel.Psi - 0.1)
+	if got >= 0 {
+		t.Errorf("turned the long way: delta %v", got)
+	}
+}
+
+func TestHeadingWithoutCommandUnchanged(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ResponseDelay = 0
+	u, err := New(cfg, State{Vel: geom.Velocity{Gs: 50, Psi: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Vertical-only command must not touch the heading.
+	u.Command(Command{HasVS: true, TargetVS: 5})
+	for i := 0; i < 10; i++ {
+		u.Step(1, nil)
+	}
+	if got := u.State().Vel.Psi; got != 1 {
+		t.Errorf("psi = %v, want unchanged 1", got)
+	}
+}
+
+func TestCombinedVerticalAndHeadingCommand(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ResponseDelay = 0
+	u, err := New(cfg, State{Vel: geom.Velocity{Gs: 50, Psi: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u.Command(Command{
+		HasVS: true, TargetVS: geom.FPM(1500),
+		HasHeading: true, TargetHeading: math.Pi / 4,
+	})
+	for i := 0; i < 60; i++ {
+		u.Step(1, nil)
+	}
+	st := u.State()
+	if math.Abs(st.Vel.Vs-geom.FPM(1500)) > 1e-9 {
+		t.Errorf("vs = %v", st.Vel.Vs)
+	}
+	if math.Abs(geom.WrapSigned(st.Vel.Psi-math.Pi/4)) > 1e-9 {
+		t.Errorf("psi = %v", st.Vel.Psi)
+	}
+}
+
+func TestZeroTurnRateDisablesHeading(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ResponseDelay = 0
+	cfg.TurnRate = 0
+	u, err := New(cfg, State{Vel: geom.Velocity{Gs: 50, Psi: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u.Command(Command{HasHeading: true, TargetHeading: 1})
+	u.Step(1, nil)
+	if got := u.State().Vel.Psi; got != 0 {
+		t.Errorf("psi = %v with zero turn rate", got)
+	}
+}

@@ -1,0 +1,49 @@
+package viz
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRenderSeparationSeries(t *testing.T) {
+	traj := syntheticTrajectory(40)
+	out := RenderSeparationSeries(traj, 80, 12)
+	if !strings.Contains(out, "*") {
+		t.Error("no separation points plotted")
+	}
+	if !strings.Contains(out, "^") {
+		t.Error("no alerting markers")
+	}
+	if !strings.Contains(out, "separation vs time") {
+		t.Error("missing header")
+	}
+	if out := RenderSeparationSeries(nil, 80, 12); !strings.Contains(out, "empty") {
+		t.Error("empty trajectory handled wrong")
+	}
+	// Single point: no division by zero.
+	single := syntheticTrajectory(1)
+	if out := RenderSeparationSeries(single, 5, 3); len(out) == 0 {
+		t.Error("single-point series empty")
+	}
+}
+
+func TestMinSeparationOf(t *testing.T) {
+	traj := syntheticTrajectory(40)
+	minSep, at := MinSeparationOf(traj)
+	if math.IsInf(minSep, 1) {
+		t.Fatal("no minimum found")
+	}
+	// Brute-force check.
+	want := math.Inf(1)
+	wantAt := 0.0
+	for _, p := range traj {
+		if d := p.Own.Pos.DistanceTo(p.Intruder.Pos); d < want {
+			want = d
+			wantAt = p.T
+		}
+	}
+	if minSep != want || at != wantAt {
+		t.Errorf("MinSeparationOf = (%v, %v), want (%v, %v)", minSep, at, want, wantAt)
+	}
+}
