@@ -261,6 +261,35 @@ func BenchmarkMonteCarloRiskRatio(b *testing.B) {
 	b.ReportMetric(pBase, "P-NMAC-unequipped")
 }
 
+// BenchmarkCampaignSweep measures the batch validation engine: a full
+// preset sweep of the table logic and baselines through the campaign
+// worker pool. Reported metric: simulations per campaign.
+func BenchmarkCampaignSweep(b *testing.B) {
+	table := benchLogicTable(b)
+	systems := DefaultCampaignSystems(table)
+	spec := DefaultCampaignSpec()
+	spec.Systems = []string{"none", "acasx", "svo"}
+	spec.Samples = 4
+	var runs, nmacRate float64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		spec.Seed = uint64(i + 1)
+		res, err := RunCampaign(spec, systems, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		runs = float64(res.TotalRuns)
+		for _, s := range res.Summaries {
+			if s.System == "none" {
+				nmacRate = s.PNMAC
+			}
+		}
+	}
+	b.ReportMetric(runs, "sims-per-campaign")
+	b.ReportMetric(nmacRate, "baseline-P-NMAC")
+}
+
 // BenchmarkTableLookupHot exercises the online logic's hot path: a single
 // interpolated advisory query.
 func BenchmarkTableLookupHot(b *testing.B) {

@@ -9,7 +9,7 @@
 // Usage:
 //
 //	casearch [-table table.acxt] [-pop 200] [-gens 5] [-sims 100]
-//	         [-seed 1] [-top 10] [-system acasx|svo|none]
+//	         [-seed 1] [-top 10] [-system acasx|belief|svo|none]
 //	         [-params ecj.params] [-fitness-csv fig6.csv]
 //	         [-baseline] [-clusters 3]
 package main
@@ -20,6 +20,7 @@ import (
 	"os"
 
 	"acasxval/internal/acasx"
+	"acasxval/internal/campaign"
 	"acasxval/internal/cli"
 	"acasxval/internal/config"
 	"acasxval/internal/core"
@@ -38,7 +39,7 @@ func run() error {
 	var (
 		tablePath  = flag.String("table", "", "logic table path (built on the fly when absent)")
 		coarse     = flag.Bool("coarse", false, "use the reduced-resolution table when building")
-		system     = flag.String("system", "acasx", "system under test: acasx, svo or none")
+		system     = flag.String("system", "acasx", "system under test: acasx, belief, svo or none")
 		pop        = flag.Int("pop", 200, "GA population size (paper: 200)")
 		gens       = flag.Int("gens", 5, "GA generations (paper: 5)")
 		sims       = flag.Int("sims", 100, "simulations per encounter (paper: 100)")
@@ -171,7 +172,7 @@ func fmtEvals(n int) string {
 
 // maybeTable builds/loads the table only when the system needs one.
 func maybeTable(system, path string, coarse bool) (*acasx.Table, error) {
-	if system != "acasx" {
+	if !campaign.NeedsTable(system) {
 		return nil, nil
 	}
 	return cli.LoadOrBuildTable(path, coarse, 0)

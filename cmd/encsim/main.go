@@ -5,8 +5,8 @@
 //
 // Usage:
 //
-//	encsim -preset headon|tailchase|crossing|vertical [-runs 100]
-//	       [-system acasx|svo|none] [-table table.acxt] [-seed 1]
+//	encsim -preset <name> [-runs 100]
+//	       [-system acasx|belief|svo|none] [-table table.acxt] [-seed 1]
 //	       [-svg out.svg] [-csv out.csv] [-plane plan|profile|time]
 //	encsim -genome "Gso,Vso,T,R,theta,Y,Gsi,psi,Vsi" ...
 package main
@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"acasxval/internal/acasx"
+	"acasxval/internal/campaign"
 	"acasxval/internal/cli"
 	"acasxval/internal/core"
 	"acasxval/internal/encounter"
@@ -36,11 +37,11 @@ func main() {
 
 func run() error {
 	var (
-		preset    = flag.String("preset", "headon", "encounter preset: headon, tailchase, crossing, vertical")
+		preset    = flag.String("preset", "headon", "encounter preset: "+strings.Join(encounter.PresetNames(), ", "))
 		genome    = flag.String("genome", "", "explicit 9-parameter encounter, comma-separated (overrides -preset)")
 		foundCSV  = flag.String("found", "", "replay an encounter from a casearch -found-csv file (overrides -preset)")
 		foundRank = flag.Int("found-rank", 1, "1-based row to replay from the -found file")
-		system    = flag.String("system", "acasx", "system under test: acasx, svo or none")
+		system    = flag.String("system", "acasx", "system under test: acasx, belief, svo or none")
 		tablePath = flag.String("table", "", "logic table path (built on the fly when absent)")
 		coarse    = flag.Bool("coarse", false, "use the reduced-resolution table when building")
 		runs      = flag.Int("runs", 100, "number of stochastic runs for the accident-rate estimate")
@@ -188,7 +189,7 @@ func pickPlane(name string) (viz.Plane, error) {
 }
 
 func maybeTable(system, path string, coarse bool) (*acasx.Table, error) {
-	if system != "acasx" {
+	if !campaign.NeedsTable(system) {
 		return nil, nil
 	}
 	return cli.LoadOrBuildTable(path, coarse, 0)

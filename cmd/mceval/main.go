@@ -7,7 +7,7 @@
 // Usage:
 //
 //	mceval [-samples 10000] [-seed 1] [-table table.acxt] [-coarse]
-//	       [-systems acasx,svo,none]
+//	       [-systems acasx,belief,svo,none]
 package main
 
 import (
@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"acasxval/internal/acasx"
+	"acasxval/internal/campaign"
 	"acasxval/internal/cli"
 	"acasxval/internal/montecarlo"
 )
@@ -34,7 +35,7 @@ func run() error {
 		seed      = flag.Uint64("seed", 1, "sampling seed")
 		tablePath = flag.String("table", "", "logic table path (built on the fly when absent)")
 		coarse    = flag.Bool("coarse", false, "use the reduced-resolution table when building")
-		systems   = flag.String("systems", "acasx,svo,none", "comma-separated systems to evaluate")
+		systems   = flag.String("systems", "acasx,svo,none", "comma-separated systems to evaluate: acasx, belief, svo, none")
 	)
 	flag.Parse()
 
@@ -49,7 +50,7 @@ func run() error {
 	var table *acasx.Table
 	for _, name := range names {
 		name = strings.TrimSpace(name)
-		if name == "acasx" && table == nil {
+		if campaign.NeedsTable(name) && table == nil {
 			t, err := cli.LoadOrBuildTable(*tablePath, *coarse, 0)
 			if err != nil {
 				return err

@@ -1,0 +1,103 @@
+// Command sweep runs a declarative validation campaign: the scenario x
+// system x variant cross-product described by an ECJ-style campaign spec
+// file, fanned out over a worker pool. Per-cell results stream as JSONL;
+// the run ends with a summary table ranking systems by risk ratio against
+// the unequipped baseline.
+//
+// The whole campaign derives from the spec's seed, so re-running the same
+// spec reproduces the output byte for byte.
+//
+// Usage:
+//
+//	sweep [-spec params/sweep-demo.params] [-out results.jsonl]
+//	      [-seed N] [-samples N] [-table table.acxt] [-full]
+//
+// With no -out, the JSONL stream precedes the summary on stdout. Timing
+// goes to stderr so stdout stays reproducible.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"acasxval/internal/campaign"
+	"acasxval/internal/cli"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run() (err error) {
+	var (
+		specPath  = flag.String("spec", "params/sweep-demo.params", "campaign spec file (ECJ-style params)")
+		outPath   = flag.String("out", "", "JSONL output path (default: stdout)")
+		seed      = flag.Uint64("seed", 0, "override the spec's seed (0 keeps the spec value)")
+		samples   = flag.Int("samples", 0, "override the spec's per-cell sample count (0 keeps the spec value)")
+		tablePath = flag.String("table", "", "logic table path (built on the fly when absent)")
+		full      = flag.Bool("full", false, "build the full-resolution table instead of the coarse one")
+	)
+	flag.Parse()
+
+	spec, err := campaign.Load(*specPath)
+	if err != nil {
+		return err
+	}
+	if *seed != 0 {
+		spec.Seed = *seed
+	}
+	if *samples != 0 {
+		spec.Samples = *samples
+		// The flag overrides every cell, including variants that pin
+		// their own sample count.
+		for i := range spec.Variants {
+			spec.Variants[i].Samples = 0
+		}
+	}
+
+	// Only build the logic table when a system in the spec needs it.
+	systems := campaign.DefaultSystems(nil)
+	for _, name := range spec.Systems {
+		if !campaign.NeedsTable(name) {
+			continue
+		}
+		table, err := cli.LoadOrBuildTable(*tablePath, !*full, 0)
+		if err != nil {
+			return err
+		}
+		systems = campaign.DefaultSystems(table)
+		break
+	}
+
+	var jsonl io.Writer = os.Stdout
+	if *outPath != "" {
+		f, cerr := os.Create(*outPath)
+		if cerr != nil {
+			return cerr
+		}
+		defer func() {
+			if cerr := f.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}()
+		jsonl = f
+	}
+
+	start := time.Now()
+	res, err := campaign.Run(spec, systems, jsonl)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	fmt.Printf("campaign %s: %d cells, %d simulations\n\n", res.Name, len(res.Cells), res.TotalRuns)
+	fmt.Print(res.SummaryTable())
+	fmt.Fprintf(os.Stderr, "\n%d simulations in %v\n", res.TotalRuns, elapsed.Round(time.Millisecond))
+	return nil
+}

@@ -16,6 +16,17 @@
 //     and a Monte-Carlo risk estimation harness (EstimateRisk) for the
 //     validation path the GA approach complements.
 //
+// On top of both sits the campaign sweep engine, the batch validation
+// answer to the paper's insistence that single-scenario checks are not
+// enough: a CampaignSpec declares a scenario x system x configuration
+// cross-product (named encounter presets and/or statistical-model draws;
+// unequipped, table logic, belief executive, SVO; run-config and
+// sample-count variants), RunCampaign fans it out over a deterministic
+// seed-derived worker pool, streams one JSONL record per cell, and ranks
+// systems by risk ratio against the unequipped baseline. Specs load from
+// ECJ-style parameter files (LoadCampaignSpec), so campaigns are
+// checked-in, versioned artifacts; cmd/sweep is the command-line driver.
+//
 // Quick start:
 //
 //	table, _ := acasxval.BuildLogicTable(acasxval.DefaultTableConfig())

@@ -1,7 +1,10 @@
 package acasxval
 
 import (
+	"io"
+
 	"acasxval/internal/acasx"
+	"acasxval/internal/campaign"
 	"acasxval/internal/core"
 	"acasxval/internal/encounter"
 	"acasxval/internal/ga"
@@ -81,6 +84,20 @@ type (
 
 	// SVOConfig parameterizes the Selective Velocity Obstacle baseline.
 	SVOConfig = svo.Config
+
+	// CampaignSpec declares a validation campaign: scenarios x systems x
+	// configuration variants.
+	CampaignSpec = campaign.Spec
+	// CampaignVariant is one run-configuration axis point of a campaign.
+	CampaignVariant = campaign.Variant
+	// CampaignCell is one evaluated cell of the campaign cross-product.
+	CampaignCell = campaign.CellResult
+	// CampaignSummary is one ranked (system, variant) aggregate.
+	CampaignSummary = campaign.SystemSummary
+	// CampaignResult is the outcome of a campaign run.
+	CampaignResult = campaign.Result
+	// CampaignSystems maps system names to factories for campaign runs.
+	CampaignSystems = campaign.SystemSet
 )
 
 // Advisories.
@@ -150,7 +167,21 @@ var (
 	PresetCrossing = encounter.PresetCrossing
 	// PresetVerticalConvergence is a vertically-created conflict.
 	PresetVerticalConvergence = encounter.PresetVerticalConvergence
+	// PresetOvertake is a parallel-track overtake from astern.
+	PresetOvertake = encounter.PresetOvertake
+	// PresetClimbingCrossing is a crossing intruder climbing through the
+	// own-ship's altitude.
+	PresetClimbingCrossing = encounter.PresetClimbingCrossing
+	// PresetOffsetHeadOn is a head-on geometry offset in both axes.
+	PresetOffsetHeadOn = encounter.PresetOffsetHeadOn
 )
+
+// EncounterPreset looks up a named encounter preset; EncounterPresetNames
+// lists the valid names.
+func EncounterPreset(name string) (EncounterParams, error) { return encounter.Preset(name) }
+
+// EncounterPresetNames lists the available encounter presets.
+func EncounterPresetNames() []string { return encounter.PresetNames() }
 
 // Classify derives the geometry class of an encounter.
 func Classify(p EncounterParams) Geometry { return encounter.Classify(p) }
@@ -190,6 +221,28 @@ func EstimateRisk(model EncounterModel, factory SystemFactory, cfg MonteCarloCon
 // RiskRatio is P(NMAC | equipped) / P(NMAC | unequipped).
 func RiskRatio(equipped, unequipped *RiskEstimate) (float64, error) {
 	return montecarlo.RiskRatio(equipped, unequipped)
+}
+
+// DefaultCampaignSpec returns a campaign skeleton: every named preset
+// against the unequipped baseline.
+func DefaultCampaignSpec() CampaignSpec { return campaign.DefaultSpec() }
+
+// LoadCampaignSpec reads a campaign declaration from an ECJ-style parameter
+// file (see campaign.FromConfig for the recognized keys).
+func LoadCampaignSpec(path string) (CampaignSpec, error) { return campaign.Load(path) }
+
+// DefaultCampaignSystems returns the standard named systems for campaign
+// runs: "none" and "svo" always, plus "acasx" and "belief" when table is
+// non-nil.
+func DefaultCampaignSystems(table *Table) CampaignSystems { return campaign.DefaultSystems(table) }
+
+// RunCampaign executes a validation campaign: the scenario x system x
+// variant cross-product fans out over a deterministic worker pool, each
+// cell streams one JSON record to jsonl (may be nil), and the result ranks
+// systems by risk ratio against the unequipped baseline. Output is
+// byte-identical across runs with the same spec.
+func RunCampaign(spec CampaignSpec, systems CampaignSystems, jsonl io.Writer) (*CampaignResult, error) {
+	return campaign.Run(spec, systems, jsonl)
 }
 
 // DefaultGrid2DConfig returns the paper's section III parameterization.

@@ -1,0 +1,3 @@
+module acasxval
+
+go 1.24

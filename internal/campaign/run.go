@@ -1,0 +1,410 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"acasxval/internal/acasx"
+	"acasxval/internal/encounter"
+	"acasxval/internal/montecarlo"
+	"acasxval/internal/sim"
+	"acasxval/internal/stats"
+	"acasxval/internal/svo"
+)
+
+// BaselineSystem is the system name risk ratios are computed against.
+const BaselineSystem = "none"
+
+// modelDrawSalt decorrelates scenario-draw seeds from cell-sampling seeds.
+const modelDrawSalt = 0x5CEA12105A17
+
+// SystemSet maps system names to factories producing fresh system pairs.
+type SystemSet map[string]montecarlo.SystemFactory
+
+// NeedsTable reports whether the named system requires a logic table.
+func NeedsTable(name string) bool {
+	return name == "acasx" || name == "belief"
+}
+
+// DefaultSystems returns the standard named systems: the unequipped
+// baseline ("none") and the SVO baseline ("svo") always; the table logic
+// ("acasx") and the belief-weighted executive ("belief") when a logic table
+// is supplied.
+func DefaultSystems(table *acasx.Table) SystemSet {
+	set := SystemSet{
+		BaselineSystem: montecarlo.Unequipped,
+		"svo": func() (sim.System, sim.System) {
+			a, err := svo.New(svo.DefaultConfig())
+			if err != nil {
+				panic(err) // default config is statically valid
+			}
+			b, err := svo.New(svo.DefaultConfig())
+			if err != nil {
+				panic(err)
+			}
+			return a, b
+		},
+	}
+	if table != nil {
+		set["acasx"] = func() (sim.System, sim.System) {
+			return sim.NewACASXU(table), sim.NewACASXU(table)
+		}
+		sigmas := acasx.DefaultBeliefSigmas()
+		set["belief"] = func() (sim.System, sim.System) {
+			a, err := sim.NewACASXUBelief(table, sigmas)
+			if err != nil {
+				panic(err) // default sigmas are statically valid
+			}
+			b, err := sim.NewACASXUBelief(table, sigmas)
+			if err != nil {
+				panic(err)
+			}
+			return a, b
+		}
+	}
+	return set
+}
+
+// Names lists the set's system names in sorted order.
+func (s SystemSet) Names() []string {
+	names := make([]string, 0, len(s))
+	for name := range s {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// CellResult is one cell of the campaign cross-product: one scenario run
+// Samples times against one system under one variant. It is the unit
+// streamed as a JSONL record.
+type CellResult struct {
+	Index      int     `json:"cell"`
+	Campaign   string  `json:"campaign"`
+	Scenario   string  `json:"scenario"`
+	Geometry   string  `json:"geometry"`
+	System     string  `json:"system"`
+	Variant    string  `json:"variant"`
+	Samples    int     `json:"samples"`
+	NMACs      int     `json:"nmacs"`
+	PNMAC      float64 `json:"p_nmac"`
+	PNMACLo    float64 `json:"p_nmac_lo"`
+	PNMACHi    float64 `json:"p_nmac_hi"`
+	AlertRate  float64 `json:"alert_rate"`
+	MeanAlerts float64 `json:"mean_alerts"`
+	MeanMinSep float64 `json:"mean_min_sep_m"`
+}
+
+// SystemSummary aggregates one (system, variant) pair across every
+// scenario: pooled NMAC probability, alert rate, mean minimum separation,
+// and the risk ratio against the unequipped baseline under the same
+// variant. HasRiskRatio reports whether the ratio is defined: a baseline
+// ran under this variant and recorded at least one NMAC. When it is false
+// — no baseline configured, or a baseline with zero events — the summary
+// ranking falls back to raw pooled P(NMAC).
+type SystemSummary struct {
+	System       string  `json:"system"`
+	Variant      string  `json:"variant"`
+	Cells        int     `json:"cells"`
+	Samples      int     `json:"samples"`
+	NMACs        int     `json:"nmacs"`
+	PNMAC        float64 `json:"p_nmac"`
+	AlertRate    float64 `json:"alert_rate"`
+	MeanMinSep   float64 `json:"mean_min_sep_m"`
+	RiskRatio    float64 `json:"risk_ratio"`
+	HasRiskRatio bool    `json:"has_risk_ratio"`
+}
+
+// Result is the outcome of a campaign run.
+type Result struct {
+	// Name echoes the campaign name.
+	Name string
+	// Cells holds every cell result in deterministic cell order (the same
+	// order the JSONL stream uses).
+	Cells []CellResult
+	// Summaries ranks (system, variant) aggregates: variants in declared
+	// order; within a variant, systems by ascending risk ratio (systems
+	// without a baseline rank after those with one, by pooled P(NMAC)).
+	Summaries []SystemSummary
+	// TotalRuns counts individual encounter simulations.
+	TotalRuns int
+}
+
+// cell is one unit of work before execution.
+type cell struct {
+	index    int
+	scenario string
+	geometry string
+	params   encounter.Params
+	system   string
+	variant  Variant
+}
+
+// cells expands the spec's cross-product in deterministic order:
+// variant-major, then scenario, then system.
+func (s Spec) cells() ([]cell, error) {
+	type scenario struct {
+		name     string
+		geometry string
+		params   encounter.Params
+	}
+	var scenarios []scenario
+	for _, name := range s.Presets {
+		p, err := encounter.Preset(name)
+		if err != nil {
+			return nil, err
+		}
+		scenarios = append(scenarios, scenario{name, encounter.Classify(p).Category.String(), p})
+	}
+	model := s.model()
+	for i := 0; i < s.ModelDraws; i++ {
+		// Scenario draws derive from the campaign seed alone, so the same
+		// spec always sweeps the same sampled encounters.
+		p := model.Sample(stats.NewChildRNG(s.Seed^modelDrawSalt, i))
+		name := fmt.Sprintf("model/%03d", i)
+		scenarios = append(scenarios, scenario{name, encounter.Classify(p).Category.String(), p})
+	}
+	var cells []cell
+	for _, v := range s.variantsOrDefault() {
+		for _, sc := range scenarios {
+			for _, sys := range s.Systems {
+				cells = append(cells, cell{
+					index:    len(cells),
+					scenario: sc.name,
+					geometry: sc.geometry,
+					params:   sc.params,
+					system:   sys,
+					variant:  v,
+				})
+			}
+		}
+	}
+	return cells, nil
+}
+
+// Run executes the campaign: every cell replays its fixed scenario through
+// the Monte-Carlo harness on a worker pool, cells stream to jsonl (may be
+// nil) as one JSON record per line in deterministic cell order, and the
+// aggregate summaries rank systems by risk ratio. The result — including
+// the JSONL byte stream — is identical for identical (spec, systems).
+func Run(spec Spec, systems SystemSet, jsonl io.Writer) (*Result, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	for _, name := range spec.Systems {
+		if _, ok := systems[name]; !ok {
+			return nil, fmt.Errorf("campaign: system %q not available (have %v)", name, systems.Names())
+		}
+	}
+	cells, err := spec.cells()
+	if err != nil {
+		return nil, err
+	}
+
+	workers := spec.Parallelism
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+
+	// Fan the cells out; stream completed results in index order so the
+	// JSONL byte stream is reproducible regardless of scheduling.
+	results := make([]CellResult, len(cells))
+	errs := make([]error, len(cells))
+	idxCh := make(chan int)
+	doneCh := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idxCh {
+				c := cells[i]
+				est, err := runCell(spec, c, systems[c.system])
+				if err != nil {
+					errs[i] = err
+				} else {
+					results[i] = CellResult{
+						Index:      c.index,
+						Campaign:   spec.Name,
+						Scenario:   c.scenario,
+						Geometry:   c.geometry,
+						System:     c.system,
+						Variant:    c.variant.Name,
+						Samples:    est.Samples,
+						NMACs:      est.NMACs,
+						PNMAC:      est.PNMAC,
+						PNMACLo:    est.PNMACCI.Lo,
+						PNMACHi:    est.PNMACCI.Hi,
+						AlertRate:  est.AlertRate,
+						MeanAlerts: est.MeanAlerts,
+						MeanMinSep: est.MeanMinSeparation,
+					}
+				}
+				doneCh <- i
+			}
+		}()
+	}
+	// abort stops the feeder after the first error so a failing campaign
+	// does not run its whole remaining cross-product before reporting.
+	abort := make(chan struct{})
+	go func() {
+	feed:
+		for i := range cells {
+			select {
+			case idxCh <- i:
+			case <-abort:
+				break feed
+			}
+		}
+		close(idxCh)
+		wg.Wait()
+		close(doneCh)
+	}()
+
+	ready := make(map[int]bool, len(cells))
+	next := 0
+	var firstErr error
+	fail := func(err error) {
+		if firstErr == nil {
+			firstErr = err
+			close(abort)
+		}
+	}
+	for i := range doneCh {
+		ready[i] = true
+		for ready[next] {
+			if errs[next] != nil {
+				fail(errs[next])
+			}
+			if firstErr == nil && jsonl != nil {
+				line, err := json.Marshal(results[next])
+				if err == nil {
+					_, err = fmt.Fprintf(jsonl, "%s\n", line)
+				}
+				if err != nil {
+					fail(err)
+				}
+			}
+			delete(ready, next)
+			next++
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	res := &Result{Name: spec.Name, Cells: results}
+	for _, c := range results {
+		res.TotalRuns += c.Samples
+	}
+	res.Summaries = summarize(spec, results)
+	return res, nil
+}
+
+// runCell evaluates one cell: the fixed scenario replayed Samples times
+// with seed-derived stochastic dynamics and sensor noise.
+func runCell(spec Spec, c cell, factory montecarlo.SystemFactory) (*montecarlo.Estimate, error) {
+	cfg := montecarlo.Config{
+		Samples: c.variant.samples(spec.Samples),
+		Run:     c.variant.apply(spec.Run),
+		Seed:    stats.DeriveSeed(spec.Seed, c.index),
+		// The campaign pool already saturates the CPUs; keep each cell
+		// single-threaded to avoid oversubscription.
+		Parallelism: 1,
+	}
+	return montecarlo.Evaluate(montecarlo.PointModel(c.params), factory, cfg)
+}
+
+// summarize pools cells into per-(system, variant) aggregates and ranks
+// them.
+func summarize(spec Spec, cells []CellResult) []SystemSummary {
+	type key struct{ system, variant string }
+	type agg struct {
+		cells, samples, nmacs int
+		alerted, sepWeighted  float64
+	}
+	aggs := make(map[key]*agg)
+	for _, c := range cells {
+		k := key{c.System, c.Variant}
+		a := aggs[k]
+		if a == nil {
+			a = &agg{}
+			aggs[k] = a
+		}
+		a.cells++
+		a.samples += c.Samples
+		a.nmacs += c.NMACs
+		a.alerted += c.AlertRate * float64(c.Samples)
+		a.sepWeighted += c.MeanMinSep * float64(c.Samples)
+	}
+
+	var out []SystemSummary
+	for _, v := range spec.variantsOrDefault() {
+		var group []SystemSummary
+		baselinePNMAC := math.NaN()
+		if a, ok := aggs[key{BaselineSystem, v.Name}]; ok && a.samples > 0 {
+			baselinePNMAC = float64(a.nmacs) / float64(a.samples)
+		}
+		for _, sys := range spec.Systems {
+			a, ok := aggs[key{sys, v.Name}]
+			if !ok || a.samples == 0 {
+				continue
+			}
+			s := SystemSummary{
+				System:     sys,
+				Variant:    v.Name,
+				Cells:      a.cells,
+				Samples:    a.samples,
+				NMACs:      a.nmacs,
+				PNMAC:      float64(a.nmacs) / float64(a.samples),
+				AlertRate:  a.alerted / float64(a.samples),
+				MeanMinSep: a.sepWeighted / float64(a.samples),
+			}
+			if !math.IsNaN(baselinePNMAC) && baselinePNMAC > 0 {
+				s.RiskRatio = s.PNMAC / baselinePNMAC
+				s.HasRiskRatio = true
+			}
+			group = append(group, s)
+		}
+		sort.SliceStable(group, func(i, j int) bool {
+			a, b := group[i], group[j]
+			if a.HasRiskRatio != b.HasRiskRatio {
+				return a.HasRiskRatio
+			}
+			if a.HasRiskRatio && a.RiskRatio != b.RiskRatio {
+				return a.RiskRatio < b.RiskRatio
+			}
+			if a.PNMAC != b.PNMAC {
+				return a.PNMAC < b.PNMAC
+			}
+			return a.System < b.System
+		})
+		out = append(out, group...)
+	}
+	return out
+}
+
+// SummaryTable renders the ranked summaries as an aligned text table.
+func (r *Result) SummaryTable() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %-14s %6s %8s %9s %11s %14s %11s\n",
+		"system", "variant", "cells", "samples", "P(NMAC)", "alert rate", "mean min sep", "risk ratio")
+	for _, s := range r.Summaries {
+		ratio := "-"
+		if s.HasRiskRatio {
+			ratio = fmt.Sprintf("%.4f", s.RiskRatio)
+		}
+		fmt.Fprintf(&b, "%-10s %-14s %6d %8d %9.4f %11.2f %12.1f m %11s\n",
+			s.System, s.Variant, s.Cells, s.Samples, s.PNMAC, s.AlertRate, s.MeanMinSep, ratio)
+	}
+	return b.String()
+}

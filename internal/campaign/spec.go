@@ -1,0 +1,345 @@
+// Package campaign implements the declarative sweep engine for large-scale
+// scenario validation. The paper's central argument is that a model-optimized
+// collision avoidance system cannot be trusted on the strength of single
+// scenario checks (the Fig. 5 head-on, the Figs. 7-8 tail approaches); it has
+// to be exercised against *many* encounters, systems and configurations. A
+// campaign is the cross-product of
+//
+//   - scenarios: named encounter presets and/or draws from a statistical
+//     encounter model,
+//   - systems: unequipped baseline, ACAS XU table logic, the belief-weighted
+//     executive, the SVO baseline,
+//   - variants: run-configuration and sample-count variations (coordination
+//     on/off, tracker on/off, decision rate, ...),
+//
+// fanned out over a deterministic seed-derived worker pool. Each cell of the
+// product replays one fixed scenario through the Monte-Carlo harness (the
+// stochastic dynamics and sensor noise still vary per sample), streams a
+// JSONL record, and feeds an aggregate summary that ranks systems by risk
+// ratio against the unequipped baseline.
+//
+// Campaigns are files, not flags: Spec parses from the same ECJ-style
+// parameter format that drives the GA search (see FromConfig), so a sweep is
+// checked in, versioned, and reproducible byte-for-byte under its seed.
+package campaign
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"acasxval/internal/config"
+	"acasxval/internal/encounter"
+	"acasxval/internal/montecarlo"
+	"acasxval/internal/sim"
+)
+
+// Variant is one run-configuration axis point: a named set of overrides
+// applied on top of the campaign's base RunConfig. Nil pointer fields
+// inherit the base value.
+type Variant struct {
+	// Name labels the variant in cell records and summaries.
+	Name string
+	// Samples overrides the campaign's per-cell sample count (0 inherits).
+	Samples int
+	// Coordination toggles maneuver-sense coordination.
+	Coordination *bool
+	// UseTracker toggles alpha-beta filtering of the received track.
+	UseTracker *bool
+	// DecisionPeriod overrides the decision interval, seconds.
+	DecisionPeriod *float64
+	// Overtime overrides the post-CPA simulated overtime, seconds.
+	Overtime *float64
+}
+
+// apply returns the base configuration with the variant's overrides set.
+func (v Variant) apply(base sim.RunConfig) sim.RunConfig {
+	if v.Coordination != nil {
+		base.Coordination = *v.Coordination
+	}
+	if v.UseTracker != nil {
+		base.UseTracker = *v.UseTracker
+	}
+	if v.DecisionPeriod != nil {
+		base.DecisionPeriod = *v.DecisionPeriod
+	}
+	if v.Overtime != nil {
+		base.Overtime = *v.Overtime
+	}
+	return base
+}
+
+// samples returns the variant's effective per-cell sample count.
+func (v Variant) samples(base int) int {
+	if v.Samples > 0 {
+		return v.Samples
+	}
+	return base
+}
+
+// Spec declares a campaign: which scenarios to run, against which systems,
+// under which configuration variants.
+type Spec struct {
+	// Name labels the campaign in its output records.
+	Name string
+
+	// Presets are named encounter presets (encounter.PresetNames).
+	Presets []string
+	// ModelDraws adds this many scenarios sampled from Model. Draws are
+	// seed-derived, so the same spec always sweeps the same scenarios.
+	ModelDraws int
+	// Model is the statistical encounter model sampled for ModelDraws.
+	// The zero value means the default UAV airspace model.
+	Model *montecarlo.EncounterModel
+
+	// Systems are the collision avoidance systems under test, by name
+	// (see DefaultSystems: none, acasx, belief, svo).
+	Systems []string
+
+	// Variants are the run-configuration axis. Empty means a single
+	// implicit "default" variant.
+	Variants []Variant
+
+	// Samples is the per-cell simulation count (noise seeds vary per
+	// sample; default 10).
+	Samples int
+	// Run is the base simulation configuration variants derive from.
+	Run sim.RunConfig
+	// Seed makes the whole campaign reproducible: scenario draws, per-cell
+	// sampling, and dynamics seeds all derive from it.
+	Seed uint64
+	// Parallelism bounds concurrent cells (0 = NumCPU).
+	Parallelism int
+}
+
+// DefaultSpec returns a campaign skeleton: all named presets against the
+// unequipped baseline, 10 samples per cell, the paper-style run
+// configuration, seed 1.
+func DefaultSpec() Spec {
+	return Spec{
+		Name:    "campaign",
+		Presets: encounter.PresetNames(),
+		Systems: []string{"none"},
+		Samples: 10,
+		Run:     sim.DefaultRunConfig(),
+		Seed:    1,
+	}
+}
+
+// variantsOrDefault returns the variant axis, inserting the implicit
+// "default" variant when none are declared.
+func (s Spec) variantsOrDefault() []Variant {
+	if len(s.Variants) == 0 {
+		return []Variant{{Name: "default"}}
+	}
+	return s.Variants
+}
+
+// model returns the encounter model sampled for ModelDraws.
+func (s Spec) model() montecarlo.EncounterModel {
+	if s.Model != nil {
+		return *s.Model
+	}
+	return montecarlo.DefaultEncounterModel()
+}
+
+// Validate checks the campaign declaration without running it.
+func (s Spec) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("campaign: empty name")
+	}
+	if len(s.Presets) == 0 && s.ModelDraws <= 0 {
+		return fmt.Errorf("campaign: no scenarios (want presets and/or model draws)")
+	}
+	if s.ModelDraws < 0 {
+		return fmt.Errorf("campaign: negative model draws %d", s.ModelDraws)
+	}
+	seenPreset := make(map[string]bool, len(s.Presets))
+	for _, name := range s.Presets {
+		if seenPreset[name] {
+			return fmt.Errorf("campaign: duplicate preset %q", name)
+		}
+		seenPreset[name] = true
+		if _, err := encounter.Preset(name); err != nil {
+			return fmt.Errorf("campaign: %w", err)
+		}
+	}
+	if s.ModelDraws > 0 {
+		if err := s.model().Validate(); err != nil {
+			return err
+		}
+	}
+	if len(s.Systems) == 0 {
+		return fmt.Errorf("campaign: no systems under test")
+	}
+	seenSys := make(map[string]bool, len(s.Systems))
+	for _, name := range s.Systems {
+		if name == "" {
+			return fmt.Errorf("campaign: empty system name")
+		}
+		if seenSys[name] {
+			return fmt.Errorf("campaign: duplicate system %q", name)
+		}
+		seenSys[name] = true
+	}
+	if s.Samples < 1 {
+		return fmt.Errorf("campaign: samples %d < 1", s.Samples)
+	}
+	seenVar := make(map[string]bool, len(s.Variants))
+	for _, v := range s.variantsOrDefault() {
+		if v.Name == "" {
+			return fmt.Errorf("campaign: variant with empty name")
+		}
+		if seenVar[v.Name] {
+			return fmt.Errorf("campaign: duplicate variant %q", v.Name)
+		}
+		seenVar[v.Name] = true
+		if v.Samples < 0 {
+			return fmt.Errorf("campaign: variant %q: negative samples %d", v.Name, v.Samples)
+		}
+		if err := v.apply(s.Run).Validate(); err != nil {
+			return fmt.Errorf("campaign: variant %q: %w", v.Name, err)
+		}
+	}
+	return nil
+}
+
+// FromConfig reads a Spec from an ECJ-style parameter set. Recognized keys
+// (defaults from DefaultSpec):
+//
+//	campaign.name
+//	campaign.presets            comma list, or "all" for every named preset
+//	campaign.model.draws        sampled encounter-model scenarios
+//	campaign.systems            comma list: none, acasx, belief, svo
+//	campaign.samples            simulations per cell
+//	campaign.seed
+//	campaign.parallelism
+//	run.decision.period         base run-config overrides
+//	run.overtime
+//	run.coordination
+//	run.tracker
+//	campaign.variant.N.name     variant axis, N = 0, 1, ... (contiguous)
+//	campaign.variant.N.samples
+//	campaign.variant.N.coordination
+//	campaign.variant.N.tracker
+//	campaign.variant.N.decision.period
+//	campaign.variant.N.overtime
+func FromConfig(c *config.Params) (Spec, error) {
+	s := DefaultSpec()
+	s.Name = c.StringOr("campaign.name", s.Name)
+	s.Presets = c.StringsOr("campaign.presets", s.Presets)
+	if len(s.Presets) == 1 && s.Presets[0] == "all" {
+		s.Presets = encounter.PresetNames()
+	}
+	var err error
+	if s.ModelDraws, err = c.IntOr("campaign.model.draws", 0); err != nil {
+		return s, err
+	}
+	s.Systems = c.StringsOr("campaign.systems", s.Systems)
+	if s.Samples, err = c.IntOr("campaign.samples", s.Samples); err != nil {
+		return s, err
+	}
+	if s.Seed, err = c.Uint64Or("campaign.seed", s.Seed); err != nil {
+		return s, err
+	}
+	if s.Parallelism, err = c.IntOr("campaign.parallelism", 0); err != nil {
+		return s, err
+	}
+	if s.Run.DecisionPeriod, err = c.FloatOr("run.decision.period", s.Run.DecisionPeriod); err != nil {
+		return s, err
+	}
+	if s.Run.Overtime, err = c.FloatOr("run.overtime", s.Run.Overtime); err != nil {
+		return s, err
+	}
+	if s.Run.Coordination, err = c.BoolOr("run.coordination", s.Run.Coordination); err != nil {
+		return s, err
+	}
+	if s.Run.UseTracker, err = c.BoolOr("run.tracker", s.Run.UseTracker); err != nil {
+		return s, err
+	}
+	for n := 0; ; n++ {
+		prefix := fmt.Sprintf("campaign.variant.%d.", n)
+		if !c.Has(prefix + "name") {
+			break
+		}
+		v := Variant{Name: c.StringOr(prefix+"name", "")}
+		if v.Samples, err = c.IntOr(prefix+"samples", 0); err != nil {
+			return s, err
+		}
+		if c.Has(prefix + "coordination") {
+			b, err := c.Bool(prefix + "coordination")
+			if err != nil {
+				return s, err
+			}
+			v.Coordination = &b
+		}
+		if c.Has(prefix + "tracker") {
+			b, err := c.Bool(prefix + "tracker")
+			if err != nil {
+				return s, err
+			}
+			v.UseTracker = &b
+		}
+		if c.Has(prefix + "decision.period") {
+			f, err := c.Float(prefix + "decision.period")
+			if err != nil {
+				return s, err
+			}
+			v.DecisionPeriod = &f
+		}
+		if c.Has(prefix + "overtime") {
+			f, err := c.Float(prefix + "overtime")
+			if err != nil {
+				return s, err
+			}
+			v.Overtime = &f
+		}
+		s.Variants = append(s.Variants, v)
+	}
+	if err := validateVariantKeys(c, len(s.Variants)); err != nil {
+		return s, err
+	}
+	return s, s.Validate()
+}
+
+// validateVariantKeys rejects campaign.variant.* keys the parse loop did
+// not consume: a gap or missing .name in the numbering, or a typoed
+// override suffix, would otherwise silently run the wrong configuration.
+func validateVariantKeys(c *config.Params, parsed int) error {
+	const pfx = "campaign.variant."
+	for _, key := range c.Keys() {
+		if !strings.HasPrefix(key, pfx) {
+			continue
+		}
+		rest := key[len(pfx):]
+		dot := strings.IndexByte(rest, '.')
+		var n int
+		var err error
+		if dot < 0 {
+			err = fmt.Errorf("no field")
+		} else {
+			n, err = strconv.Atoi(rest[:dot])
+		}
+		if err != nil || n < 0 || strconv.Itoa(n) != rest[:dot] {
+			return fmt.Errorf("campaign: malformed variant key %q (want campaign.variant.N.field)", key)
+		}
+		if n >= parsed {
+			return fmt.Errorf("campaign: orphaned variant key %q (variants are numbered contiguously from 0, each with a name)", key)
+		}
+		switch rest[dot+1:] {
+		case "name", "samples", "coordination", "tracker", "decision.period", "overtime":
+		default:
+			return fmt.Errorf("campaign: unknown variant field in %q", key)
+		}
+	}
+	return nil
+}
+
+// Load reads and parses a campaign spec from an ECJ-style parameter file.
+func Load(path string) (Spec, error) {
+	params, err := config.Load(path)
+	if err != nil {
+		return Spec{}, err
+	}
+	return FromConfig(params)
+}

@@ -9,8 +9,8 @@ import (
 	"runtime"
 
 	"acasxval/internal/acasx"
+	"acasxval/internal/campaign"
 	"acasxval/internal/sim"
-	"acasxval/internal/svo"
 )
 
 // LoadOrBuildTable loads the logic table from path when it exists;
@@ -46,34 +46,17 @@ func LoadOrBuildTable(path string, coarse bool, workers int) (*acasx.Table, erro
 	return table, nil
 }
 
-// SystemFactory builds the named system pair: "acasx", "svo" or "none".
-// The table is required only for "acasx".
+// SystemFactory builds the named system pair: "acasx", "belief", "svo" or
+// "none". The table is required for "acasx" and "belief". The set of names
+// is the campaign engine's registry, so the CLIs and the sweep engine
+// cannot drift apart.
 func SystemFactory(name string, table *acasx.Table) (func() (sim.System, sim.System), error) {
-	switch name {
-	case "acasx":
-		if table == nil {
-			return nil, fmt.Errorf("system %q needs a logic table", name)
-		}
-		return func() (sim.System, sim.System) {
-			return sim.NewACASXU(table), sim.NewACASXU(table)
-		}, nil
-	case "svo":
-		return func() (sim.System, sim.System) {
-			a, err := svo.New(svo.DefaultConfig())
-			if err != nil {
-				panic(err) // default config is statically valid
-			}
-			b, err := svo.New(svo.DefaultConfig())
-			if err != nil {
-				panic(err)
-			}
-			return a, b
-		}, nil
-	case "none":
-		return func() (sim.System, sim.System) {
-			return sim.NoSystem{}, sim.NoSystem{}
-		}, nil
-	default:
-		return nil, fmt.Errorf("unknown system %q (want acasx, svo or none)", name)
+	if campaign.NeedsTable(name) && table == nil {
+		return nil, fmt.Errorf("system %q needs a logic table", name)
 	}
+	factory, ok := campaign.DefaultSystems(table)[name]
+	if !ok {
+		return nil, fmt.Errorf("unknown system %q (want acasx, belief, svo or none)", name)
+	}
+	return factory, nil
 }

@@ -172,6 +172,28 @@ func (p *Params) IntOr(key string, def int) (int, error) {
 	return p.Int(key)
 }
 
+// Uint64 returns the value of key parsed as a uint64, rejecting negative
+// values instead of wrapping them.
+func (p *Params) Uint64(key string) (uint64, error) {
+	v, err := p.String(key)
+	if err != nil {
+		return 0, err
+	}
+	n, err := strconv.ParseUint(v, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("config: %q: %w", key, err)
+	}
+	return n, nil
+}
+
+// Uint64Or returns the uint64 value of key, or def if absent.
+func (p *Params) Uint64Or(key string, def uint64) (uint64, error) {
+	if !p.Has(key) {
+		return def, nil
+	}
+	return p.Uint64(key)
+}
+
 // Float returns the value of key parsed as a float64.
 func (p *Params) Float(key string) (float64, error) {
 	v, err := p.String(key)
@@ -214,14 +236,33 @@ func (p *Params) BoolOr(key string, def bool) (bool, error) {
 	return p.Bool(key)
 }
 
-// Floats returns the value of key parsed as a comma- or space-separated list
-// of float64s.
-func (p *Params) Floats(key string) ([]float64, error) {
+// Strings returns the comma- or whitespace-separated list value of key.
+// Empty elements are dropped, so trailing commas are harmless.
+func (p *Params) Strings(key string) ([]string, error) {
 	v, err := p.String(key)
 	if err != nil {
 		return nil, err
 	}
 	fields := strings.FieldsFunc(v, func(r rune) bool { return r == ',' || r == ' ' || r == '\t' })
+	return fields, nil
+}
+
+// StringsOr returns the list value of key, or def if absent.
+func (p *Params) StringsOr(key string, def []string) []string {
+	if !p.Has(key) {
+		return def
+	}
+	v, _ := p.Strings(key)
+	return v
+}
+
+// Floats returns the value of key parsed as a comma- or space-separated list
+// of float64s.
+func (p *Params) Floats(key string) ([]float64, error) {
+	fields, err := p.Strings(key)
+	if err != nil {
+		return nil, err
+	}
 	out := make([]float64, 0, len(fields))
 	for _, f := range fields {
 		x, err := strconv.ParseFloat(f, 64)

@@ -1,0 +1,40 @@
+package config
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestStrings(t *testing.T) {
+	p, err := Parse("list = a, b,c\t d\nempty =\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.Strings("list")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []string{"a", "b", "c", "d"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("Strings = %v, want %v", got, want)
+	}
+	if got, err := p.Strings("empty"); err != nil || len(got) != 0 {
+		t.Errorf("Strings of empty value = %v, %v; want empty, nil", got, err)
+	}
+	if _, err := p.Strings("missing"); err == nil {
+		t.Error("Strings of missing key should fail")
+	}
+}
+
+func TestStringsOr(t *testing.T) {
+	p, err := Parse("list = x, y\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.StringsOr("list", nil); !reflect.DeepEqual(got, []string{"x", "y"}) {
+		t.Errorf("StringsOr = %v", got)
+	}
+	def := []string{"fallback"}
+	if got := p.StringsOr("missing", def); !reflect.DeepEqual(got, def) {
+		t.Errorf("StringsOr default = %v, want %v", got, def)
+	}
+}

@@ -79,24 +79,92 @@ func PresetVerticalConvergence() Params {
 	}
 }
 
-// Preset looks up a named preset. Valid names: headon, tailchase, crossing,
-// vertical.
-func Preset(name string) (Params, error) {
-	switch name {
-	case "headon":
-		return PresetHeadOn(), nil
-	case "tailchase":
-		return PresetTailApproach(), nil
-	case "crossing":
-		return PresetCrossing(), nil
-	case "vertical":
-		return PresetVerticalConvergence(), nil
-	default:
-		return Params{}, fmt.Errorf("encounter: unknown preset %q (want headon, tailchase, crossing or vertical)", name)
+// PresetOvertake is a parallel-track overtake: both aircraft fly the same
+// heading at the same altitude on laterally offset tracks, the intruder 25
+// m/s faster and closing from astern. Like the tail approach this starves
+// tau-based alerting, but purely in the horizontal plane.
+func PresetOvertake() Params {
+	return Params{
+		OwnGroundSpeed:         30,
+		OwnVerticalSpeed:       0,
+		TimeToCPA:              35,
+		HorizontalMissDistance: 30,
+		ApproachAngle:          math.Pi / 2, // abeam at CPA: parallel tracks
+		VerticalMissDistance:   0,
+		IntruderGroundSpeed:    55,
+		IntruderBearing:        0, // same heading as own-ship
+		IntruderVerticalSpeed:  0,
 	}
+}
+
+// PresetClimbingCrossing is a crossing conflict created jointly in both
+// planes: the intruder crosses at roughly right angles while climbing
+// through the own-ship's altitude, reaching a small positive vertical
+// offset at the CPA.
+func PresetClimbingCrossing() Params {
+	return Params{
+		OwnGroundSpeed:         45,
+		OwnVerticalSpeed:       0,
+		TimeToCPA:              30,
+		HorizontalMissDistance: 40,
+		ApproachAngle:          3 * math.Pi / 4,
+		VerticalMissDistance:   5,
+		IntruderGroundSpeed:    40,
+		IntruderBearing:        math.Pi / 2, // crossing from the side
+		IntruderVerticalSpeed:  4,           // climbing through own altitude
+	}
+}
+
+// PresetOffsetHeadOn is the most marginal conflict in the set: a head-on
+// geometry laterally offset by two thirds of the NMAC radius and vertically
+// grazing the top of the NMAC cylinder. It is still a conflict — like every
+// preset it lies inside the DefaultRanges conflict space — but only just,
+// the kind of borderline encounter where an avoidance maneuver chosen from
+// a noisy track can make things worse instead of better.
+func PresetOffsetHeadOn() Params {
+	return Params{
+		OwnGroundSpeed:         50,
+		OwnVerticalSpeed:       0,
+		TimeToCPA:              30,
+		HorizontalMissDistance: 100,
+		ApproachAngle:          math.Pi / 2,       // offset abeam, not nose-to-nose
+		VerticalMissDistance:   geom.NMACVertical, // grazing the cylinder top
+		IntruderGroundSpeed:    50,
+		IntruderBearing:        math.Pi, // opposite heading
+		IntruderVerticalSpeed:  0,
+	}
+}
+
+// presetRegistry maps preset names to constructors, in the order
+// PresetNames reports them.
+var presetRegistry = []struct {
+	name string
+	fn   func() Params
+}{
+	{"headon", PresetHeadOn},
+	{"tailchase", PresetTailApproach},
+	{"crossing", PresetCrossing},
+	{"vertical", PresetVerticalConvergence},
+	{"overtake", PresetOvertake},
+	{"climbcross", PresetClimbingCrossing},
+	{"offsethead", PresetOffsetHeadOn},
+}
+
+// Preset looks up a named preset; PresetNames lists the valid names.
+func Preset(name string) (Params, error) {
+	for _, e := range presetRegistry {
+		if e.name == name {
+			return e.fn(), nil
+		}
+	}
+	return Params{}, fmt.Errorf("encounter: unknown preset %q (want one of %v)", name, PresetNames())
 }
 
 // PresetNames lists the available presets.
 func PresetNames() []string {
-	return []string{"headon", "tailchase", "crossing", "vertical"}
+	names := make([]string, len(presetRegistry))
+	for i, e := range presetRegistry {
+		names[i] = e.name
+	}
+	return names
 }

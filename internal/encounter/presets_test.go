@@ -1,0 +1,74 @@
+package encounter
+
+import (
+	"testing"
+)
+
+// Every named preset must resolve, lie inside the default search space
+// (so the GA, the Monte-Carlo model and the campaign engine can all use
+// it unclamped), and be a genuine conflict geometry.
+func TestPresetRoundTrip(t *testing.T) {
+	names := PresetNames()
+	if len(names) < 7 {
+		t.Fatalf("PresetNames() = %d entries, want >= 7", len(names))
+	}
+	ranges := DefaultRanges()
+	seen := make(map[string]bool, len(names))
+	for _, name := range names {
+		t.Run(name, func(t *testing.T) {
+			if seen[name] {
+				t.Fatalf("duplicate preset name %q", name)
+			}
+			seen[name] = true
+			p, err := Preset(name)
+			if err != nil {
+				t.Fatalf("Preset(%q): %v", name, err)
+			}
+			if clamped := ranges.Clamp(p); clamped != p {
+				t.Errorf("preset %q outside DefaultRanges:\n  got     %v\n  clamped %v", name, p, clamped)
+			}
+			// A preset must describe a conflict: CPA miss distances inside
+			// the (near-)NMAC cylinder per section VI.A.
+			if p.TimeToCPA <= 0 {
+				t.Errorf("preset %q: non-positive time to CPA %v", name, p.TimeToCPA)
+			}
+			// The geometry classifier must accept it without degenerate
+			// output.
+			g := Classify(p)
+			if g.Category.String() == "" {
+				t.Errorf("preset %q: empty geometry category", name)
+			}
+		})
+	}
+}
+
+func TestPresetUnknownName(t *testing.T) {
+	if _, err := Preset("no-such-preset"); err == nil {
+		t.Fatal("Preset of unknown name should fail")
+	}
+}
+
+// The new presets must land in their intended geometry classes.
+func TestNewPresetGeometry(t *testing.T) {
+	cases := []struct {
+		name string
+		want Category
+	}{
+		{"overtake", TailApproach},
+		{"climbcross", Crossing},
+		{"offsethead", HeadOn},
+	}
+	for _, tc := range cases {
+		p, err := Preset(tc.name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := Classify(p).Category; got != tc.want {
+			t.Errorf("Classify(%s) = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+	// The overtake is the textbook faster-from-behind geometry.
+	if g := Classify(PresetOvertake()); !g.OvertakeFromBehind {
+		t.Error("overtake preset not classified as overtake-from-behind")
+	}
+}

@@ -84,6 +84,22 @@ func (n TruncNormal) Validate() error {
 	return nil
 }
 
+// Constant is the degenerate distribution that always returns Value. It
+// turns the Monte-Carlo harness into a fixed-scenario evaluator: a model
+// whose every parameter is Constant replays one encounter geometry while
+// the dynamics and sensor noise still vary per sample.
+type Constant struct {
+	Value float64
+}
+
+var _ Distribution = Constant{}
+
+// Sample implements Distribution.
+func (c Constant) Sample(*rand.Rand) float64 { return c.Value }
+
+// Validate implements Distribution.
+func (Constant) Validate() error { return nil }
+
 // Mixture samples from one of its weighted components.
 type Mixture struct {
 	Components []Distribution
@@ -173,6 +189,38 @@ func DefaultEncounterModel() EncounterModel {
 		IntruderBearing:        Uniform{Min: 0, Max: 2 * 3.141592653589793},
 		IntruderVerticalSpeed:  vsMix,
 		Ranges:                 ranges,
+	}
+}
+
+// PointModel returns the degenerate encounter model that always yields p:
+// every parameter distribution is Constant and the clamping ranges collapse
+// onto the point. Evaluating a PointModel estimates the stochastic outcome
+// distribution (dynamics + sensor noise) of one fixed scenario — the
+// per-cell workload of the campaign sweep engine.
+func PointModel(p encounter.Params) EncounterModel {
+	v := p.Vector()
+	pointRange := func(x float64) encounter.Range { return encounter.Range{Min: x, Max: x} }
+	return EncounterModel{
+		OwnGroundSpeed:         Constant{v[0]},
+		OwnVerticalSpeed:       Constant{v[1]},
+		TimeToCPA:              Constant{v[2]},
+		HorizontalMissDistance: Constant{v[3]},
+		ApproachAngle:          Constant{v[4]},
+		VerticalMissDistance:   Constant{v[5]},
+		IntruderGroundSpeed:    Constant{v[6]},
+		IntruderBearing:        Constant{v[7]},
+		IntruderVerticalSpeed:  Constant{v[8]},
+		Ranges: encounter.Ranges{
+			OwnGroundSpeed:         pointRange(v[0]),
+			OwnVerticalSpeed:       pointRange(v[1]),
+			TimeToCPA:              pointRange(v[2]),
+			HorizontalMissDistance: pointRange(v[3]),
+			ApproachAngle:          pointRange(v[4]),
+			VerticalMissDistance:   pointRange(v[5]),
+			IntruderGroundSpeed:    pointRange(v[6]),
+			IntruderBearing:        pointRange(v[7]),
+			IntruderVerticalSpeed:  pointRange(v[8]),
+		},
 	}
 }
 
