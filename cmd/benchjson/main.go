@@ -1,0 +1,231 @@
+// Command benchjson converts `go test -bench` output into the repo's
+// BENCH_<date>.json perf-trajectory format, and compares two such files.
+//
+// Generate (normally via scripts/bench.sh / `make bench-json`):
+//
+//	go test -run '^$' -bench . -benchmem . | benchjson > BENCH_2026-07-26.json
+//
+// Compare two snapshots (ns/op speedup, allocation deltas):
+//
+//	benchjson -compare BENCH_old.json BENCH_new.json
+//
+// Each record keeps ns/op as a first-class field; B/op, allocs/op and the
+// b.ReportMetric shape metrics (NMAC rates, risk ratios, fitness, ...) land
+// in the metrics map, so a snapshot documents both how fast the pipeline
+// ran and what it computed.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Benchmark is one parsed benchmark line.
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// File is the checked-in BENCH_<date>.json document.
+type File struct {
+	Schema     int         `json:"schema"`
+	Date       string      `json:"date"`
+	Go         string      `json:"go"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	compare := flag.Bool("compare", false, "compare two BENCH_*.json files (old new) instead of parsing bench output")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: benchjson [< bench-output] [file...]\n")
+		fmt.Fprintf(os.Stderr, "       benchjson -compare OLD.json NEW.json\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	var err error
+	if *compare {
+		err = runCompare(flag.Args())
+	} else {
+		err = runParse(flag.Args())
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// runParse reads bench output from the named files (or stdin) and writes
+// the JSON document to stdout.
+func runParse(args []string) error {
+	out := File{
+		Schema: 1,
+		Date:   time.Now().Format("2006-01-02"),
+		Go:     runtime.Version() + " " + runtime.GOOS + "/" + runtime.GOARCH,
+	}
+	readers := []io.Reader{os.Stdin}
+	if len(args) > 0 {
+		readers = readers[:0]
+		for _, path := range args {
+			f, err := os.Open(path)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			readers = append(readers, f)
+		}
+	}
+	for _, r := range readers {
+		if err := parseBench(r, &out); err != nil {
+			return err
+		}
+	}
+	if len(out.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark lines found in input")
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// parseBench scans `go test -bench` output, appending parsed benchmark
+// lines to out and capturing the cpu: header when present.
+func parseBench(r io.Reader, out *File) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if cpu, ok := strings.CutPrefix(line, "cpu:"); ok {
+			out.CPU = strings.TrimSpace(cpu)
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		b, ok := parseLine(line)
+		if !ok {
+			continue
+		}
+		out.Benchmarks = append(out.Benchmarks, b)
+	}
+	return sc.Err()
+}
+
+// parseLine parses one benchmark result line:
+//
+//	BenchmarkName[-procs] <iterations> [<value> <unit>]...
+func parseLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return Benchmark{}, false
+	}
+	name := strings.TrimPrefix(fields[0], "Benchmark")
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i] // strip the -GOMAXPROCS suffix
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: name, Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		if fields[i+1] == "ns/op" {
+			b.NsPerOp = v
+		} else {
+			b.Metrics[fields[i+1]] = v
+		}
+	}
+	if len(b.Metrics) == 0 {
+		b.Metrics = nil
+	}
+	return b, true
+}
+
+// runCompare prints a per-benchmark comparison of two snapshot files.
+func runCompare(args []string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("-compare wants exactly two files (old new), got %d", len(args))
+	}
+	old, err := loadFile(args[0])
+	if err != nil {
+		return err
+	}
+	cur, err := loadFile(args[1])
+	if err != nil {
+		return err
+	}
+	oldBy := make(map[string]Benchmark, len(old.Benchmarks))
+	for _, b := range old.Benchmarks {
+		oldBy[b.Name] = b
+	}
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	fmt.Fprintf(w, "%-32s %14s %14s %9s %12s\n", "benchmark", "old ns/op", "new ns/op", "speedup", "allocs/op")
+	for _, b := range cur.Benchmarks {
+		o, ok := oldBy[b.Name]
+		if !ok {
+			fmt.Fprintf(w, "%-32s %14s %14.1f %9s %12s\n", b.Name, "-", b.NsPerOp, "new", allocsCell(Benchmark{}, b))
+			continue
+		}
+		speedup := "-"
+		if b.NsPerOp > 0 && o.NsPerOp > 0 {
+			speedup = fmt.Sprintf("%.2fx", o.NsPerOp/b.NsPerOp)
+		}
+		fmt.Fprintf(w, "%-32s %14.1f %14.1f %9s %12s\n", b.Name, o.NsPerOp, b.NsPerOp, speedup, allocsCell(o, b))
+	}
+	// Benchmarks that disappeared between snapshots are a trajectory signal
+	// too (a tracked hot path was renamed or deleted) — flag them like new
+	// entries rather than dropping them silently.
+	curNames := make(map[string]bool, len(cur.Benchmarks))
+	for _, b := range cur.Benchmarks {
+		curNames[b.Name] = true
+	}
+	for _, o := range old.Benchmarks {
+		if !curNames[o.Name] {
+			fmt.Fprintf(w, "%-32s %14.1f %14s %9s %12s\n", o.Name, o.NsPerOp, "-", "removed", allocsCell(o, Benchmark{}))
+		}
+	}
+	return nil
+}
+
+// allocsCell renders the allocs/op transition of one benchmark pair.
+func allocsCell(o, b Benchmark) string {
+	ov, ook := o.Metrics["allocs/op"]
+	nv, nok := b.Metrics["allocs/op"]
+	switch {
+	case ook && nok:
+		return fmt.Sprintf("%.0f -> %.0f", ov, nv)
+	case nok:
+		return fmt.Sprintf("%.0f", nv)
+	default:
+		return "-"
+	}
+}
+
+func loadFile(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &f, nil
+}

@@ -243,14 +243,14 @@ func TestBuilderMatchesGenericSolver(t *testing.T) {
 				want := sol.Values[k*m.stateSize+s]
 				got := math.Inf(-1)
 				for a := 0; a < NumAdvisories; a++ {
-					q := table.qValue(k, pt[0], pt[1], pt[2], Advisory(ra), Advisory(a))
+					q := table.QValue(float64(k), pt[0], pt[1], pt[2], Advisory(ra), Advisory(a))
 					if q > got {
 						got = q
 					}
 				}
 				if k == 0 {
 					// Slice 0 stores terminal values directly.
-					got = table.qValue(0, pt[0], pt[1], pt[2], Advisory(ra), COC)
+					got = table.QValue(0, pt[0], pt[1], pt[2], Advisory(ra), COC)
 				}
 				if math.Abs(got-want) > 1e-6*(1+math.Abs(want)) {
 					t.Fatalf("k=%d c=%d ra=%d: builder %v vs generic %v", k, c, ra, got, want)

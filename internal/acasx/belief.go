@@ -75,9 +75,61 @@ func (l *BeliefLogic) Reset() {
 var beliefNodes = [3]float64{-1.7320508075688772, 0, 1.7320508075688772}
 var beliefWeights = [3]float64{1.0 / 6, 2.0 / 3, 1.0 / 6}
 
-// expectedQ integrates Q over the Gaussian belief centred at
-// (tau, h, dh0, dh1) using a tensor grid of Gauss-Hermite nodes over the
-// dimensions with non-zero sigma.
+// expectedAllQ integrates the Q value of every advisory over the Gaussian
+// belief centred at (tau, h, dh0, dh1), using a tensor grid of
+// Gauss-Hermite nodes over the dimensions with non-zero sigma. Each belief
+// node performs a single shared-weight table scan (Table.AllQValues) that
+// covers the whole action set, instead of re-deriving the interpolation
+// weights once per action; the accumulated values are bit-identical to the
+// per-action integration.
+func (l *BeliefLogic) expectedAllQ(dst *[NumAdvisories]float64, tau, h, dh0, dh1 float64, ra Advisory) {
+	s := l.sigmas
+	for a := range dst {
+		dst[a] = 0
+	}
+	var node [NumAdvisories]float64
+	for i, wi := range beliefWeights {
+		hh := h + beliefNodes[i]*s.H
+		if s.H == 0 && i != 1 {
+			continue
+		}
+		for j, wj := range beliefWeights {
+			tt := tau + beliefNodes[j]*s.Tau
+			if s.Tau == 0 && j != 1 {
+				continue
+			}
+			for k, wk := range beliefWeights {
+				rr := dh1 + beliefNodes[k]*s.Rate
+				if s.Rate == 0 && k != 1 {
+					continue
+				}
+				w := wi * wj * wk
+				l.table.AllQValues(&node, tt, hh, dh0, rr, ra)
+				for a := 0; a < NumAdvisories; a++ {
+					dst[a] += w * node[a]
+				}
+			}
+		}
+	}
+	// Renormalize for skipped (zero-sigma) dimensions.
+	norm := 1.0
+	if s.H == 0 {
+		norm *= beliefWeights[1]
+	}
+	if s.Tau == 0 {
+		norm *= beliefWeights[1]
+	}
+	if s.Rate == 0 {
+		norm *= beliefWeights[1]
+	}
+	for a := range dst {
+		dst[a] /= norm
+	}
+}
+
+// expectedQ integrates one action's Q value over the belief; kept as the
+// per-action reference the belief equivalence test checks expectedAllQ
+// against.
 func (l *BeliefLogic) expectedQ(tau, h, dh0, dh1 float64, ra, a Advisory) float64 {
 	s := l.sigmas
 	total := 0.0
@@ -101,7 +153,6 @@ func (l *BeliefLogic) expectedQ(tau, h, dh0, dh1 float64, ra, a Advisory) float6
 			}
 		}
 	}
-	// Renormalize for skipped (zero-sigma) dimensions.
 	norm := 1.0
 	if s.H == 0 {
 		norm *= beliefWeights[1]
@@ -133,15 +184,19 @@ func (l *BeliefLogic) Decide(own uav.State, intrPos, intrVel geom.Vec3, mask Sen
 			next = COC
 		}
 	} else {
+		// One belief integration covers the whole action set: each node
+		// queries the table once via the shared-weight scan.
+		var eq [NumAdvisories]float64
+		l.expectedAllQ(&eq, tau, h, dh0, dh1, prev)
 		best := COC
 		bestQ := math.Inf(-1)
 		found := false
-		for _, a := range Advisories() {
+		for a := COC; a < NumAdvisories; a++ {
 			if !mask.Allows(a) {
 				continue
 			}
-			if q := l.expectedQ(tau, h, dh0, dh1, prev, a); q > bestQ {
-				bestQ = q
+			if eq[a] > bestQ {
+				bestQ = eq[a]
 				best = a
 				found = true
 			}

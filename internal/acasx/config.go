@@ -88,6 +88,12 @@ type Config struct {
 	UseVerticalTau bool
 	// Workers parallelizes the offline solve (default: serial).
 	Workers int
+	// LegacySweep disables the precomputed transition-projection cache and
+	// re-projects every sigma-outcome successor on every tau slice, as the
+	// original solver did. The generated table is bit-identical either way
+	// (the equivalence test asserts it); the flag exists to keep the
+	// reference path testable, not because the outputs differ.
+	LegacySweep bool
 }
 
 // DefaultConfig returns the full-resolution parameterization.

@@ -91,7 +91,9 @@ func (l *Logic) Decide(own uav.State, intrPos, intrVel geom.Vec3, mask SenseMask
 			next = COC
 		}
 	} else {
-		best, ok := l.table.BestAdvisory(tau, h, dh0, dh1, prev, mask)
+		// The shared-weight scan keeps the per-decision table query
+		// allocation-free: one weight computation covers every advisory.
+		best, ok := l.table.BestAdvisoryFast(tau, h, dh0, dh1, prev, mask)
 		if !ok {
 			best = COC
 		}

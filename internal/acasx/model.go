@@ -135,6 +135,82 @@ func (m *model) successor(h, dh0, dh1 float64, a Advisory, ownNode, intrNode flo
 	return hn, dh0n, dh1n
 }
 
+// numSigmaOutcomes is the number of joint (own, intruder) sigma outcomes
+// integrated per (state, action): the 3x3 Gauss-Hermite tensor grid.
+const numSigmaOutcomes = 9
+
+// maxCorners bounds the interpolation expansion of one projected successor:
+// the continuous grid is 3-D (h, dh0, dh1), so a cell has at most 2^3
+// corners.
+const maxCorners = 8
+
+// transitions is the precomputed successor projection of the offline MDP:
+// for every (continuous vertex c, action a, sigma outcome o) the grid
+// vertices and barycentric weights of the projected successor state. The
+// projection (h, dh0, dh1, a) -> vertex weights is independent of tau, so
+// computing it once turns every backward-induction sweep into a pure
+// gather/dot-product over the previous slice.
+//
+// Layout: group g = (c*NumAdvisories + a)*numSigmaOutcomes + o owns the
+// fixed-stride arena span flats[g*maxCorners : g*maxCorners+counts[g]]
+// (likewise weights); the stride wastes a few padding entries on boundary
+// states but lets one parallel pass fill disjoint ranges directly. The
+// per-outcome quadrature weight is kept separate (outcomeW) rather than
+// folded into the corner weights so the cached sweep performs exactly the
+// same floating-point operations as the legacy per-slice projection —
+// tables stay bit-identical.
+type transitions struct {
+	counts   []uint8
+	flats    []int32
+	weights  []float64
+	outcomeW [numSigmaOutcomes]float64
+}
+
+// buildTransitions projects every (vertex, action, sigma outcome) successor
+// onto the grid once, parallelized over vertices.
+func (m *model) buildTransitions(workers int) *transitions {
+	groups := m.contSize * NumAdvisories * numSigmaOutcomes
+	tr := &transitions{
+		counts:  make([]uint8, groups),
+		flats:   make([]int32, groups*maxCorners),
+		weights: make([]float64, groups*maxCorners),
+	}
+	o := 0
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			tr.outcomeW[o] = m.sigmaWeights[i] * m.sigmaWeights[j]
+			o++
+		}
+	}
+	run := func(lo, hi int) {
+		var wsBuf [16]interp.VertexWeight
+		var ptBuf, sucBuf [3]float64
+		for c := lo; c < hi; c++ {
+			pt := m.grid.PointAppend(ptBuf[:0], c)
+			h, dh0, dh1 := pt[0], pt[1], pt[2]
+			g := c * NumAdvisories * numSigmaOutcomes
+			for a := 0; a < NumAdvisories; a++ {
+				for i := 0; i < 3; i++ {
+					for j := 0; j < 3; j++ {
+						hn, dh0n, dh1n := m.successor(h, dh0, dh1, Advisory(a), m.sigmaNodes[i], m.sigmaNodes[j])
+						sucBuf[0], sucBuf[1], sucBuf[2] = hn, dh0n, dh1n
+						ws, _ := m.grid.WeightsAppend(wsBuf[:0], sucBuf[:])
+						at := g * maxCorners
+						for k, vw := range ws {
+							tr.flats[at+k] = int32(vw.Flat)
+							tr.weights[at+k] = vw.Weight
+						}
+						tr.counts[g] = uint8(len(ws))
+						g++
+					}
+				}
+			}
+		}
+	}
+	parallelRanges(m.contSize, workers, run)
+	return tr
+}
+
 // expectedNextValue integrates V(next) over the 3x3 joint sigma outcomes of
 // (own noise, intruder noise) for continuous state (h, dh0, dh1) under
 // advisory a, reading values from the prev slice at advisory-state a.

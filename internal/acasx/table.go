@@ -32,6 +32,12 @@ type Table struct {
 // sigma outcomes x 8 interpolation corners). With Config.Workers > 1 the
 // per-slice sweeps are parallelized over states; the result is identical to
 // the serial solve.
+//
+// The successor projection (h, dh0, dh1, a) -> grid vertex weights does not
+// depend on tau, so by default it is computed once up front and every sweep
+// reduces to a sparse gather/dot-product over the previous slice
+// (Config.LegacySweep re-enables the original per-slice projection; the
+// resulting tables are bit-identical either way).
 func BuildTable(cfg Config) (*Table, error) {
 	start := time.Now()
 	m, err := newModel(cfg)
@@ -62,11 +68,20 @@ func BuildTable(cfg Config) (*Table, error) {
 		workers = runtime.NumCPU()
 	}
 
+	var tr *transitions
+	if !cfg.LegacySweep {
+		tr = m.buildTransitions(workers)
+	}
+
 	prev := v
 	for k := 1; k <= horizon; k++ {
 		qk := make([]float64, m.stateSize*NumAdvisories)
 		next := make([]float64, m.stateSize)
-		sweepSlice(m, prev, qk, next, workers)
+		if tr != nil {
+			sweepSliceCached(m, tr, prev, qk, next, workers)
+		} else {
+			sweepSlice(m, prev, qk, next, workers)
+		}
 		t.q[k] = qk
 		prev = next
 		t.sweepCount++
@@ -75,36 +90,8 @@ func BuildTable(cfg Config) (*Table, error) {
 	return t, nil
 }
 
-// sweepSlice fills qk (Q values) and next (V values) for one tau slice from
-// the previous slice's V values.
-func sweepSlice(m *model, prev, qk, next []float64, workers int) {
-	n := m.contSize
-	run := func(lo, hi int) {
-		var ws [16]interp.VertexWeight
-		var pt []float64
-		for c := lo; c < hi; c++ {
-			pt = m.grid.Point(c)
-			h, dh0, dh1 := pt[0], pt[1], pt[2]
-			// The expected next value depends only on the chosen action,
-			// not on the current advisory state; compute once per action.
-			var ev [NumAdvisories]float64
-			for a := 0; a < NumAdvisories; a++ {
-				ev[a] = m.expectedNextValue(prev, h, dh0, dh1, Advisory(a), ws[:0])
-			}
-			for ra := 0; ra < NumAdvisories; ra++ {
-				s := m.stateIndex(c, Advisory(ra))
-				best := math.Inf(-1)
-				for a := 0; a < NumAdvisories; a++ {
-					q := m.eventCost(Advisory(ra), Advisory(a)) + ev[a]
-					qk[a*m.stateSize+s] = q
-					if q > best {
-						best = q
-					}
-				}
-				next[s] = best
-			}
-		}
-	}
+// parallelRanges splits [0, n) into worker chunks and runs run on each.
+func parallelRanges(n, workers int, run func(lo, hi int)) {
 	if workers <= 1 {
 		run(0, n)
 		return
@@ -124,6 +111,76 @@ func sweepSlice(m *model, prev, qk, next []float64, workers int) {
 		}(lo, hi)
 	}
 	wg.Wait()
+}
+
+// sweepSlice fills qk (Q values) and next (V values) for one tau slice from
+// the previous slice's V values, re-projecting every sigma-outcome successor
+// onto the grid. This is the original (pre-cache) sweep, kept behind
+// Config.LegacySweep so the equivalence test can prove the cached sweep
+// reproduces it bit for bit.
+func sweepSlice(m *model, prev, qk, next []float64, workers int) {
+	run := func(lo, hi int) {
+		var ws [16]interp.VertexWeight
+		var ptBuf [3]float64
+		for c := lo; c < hi; c++ {
+			pt := m.grid.PointAppend(ptBuf[:0], c)
+			h, dh0, dh1 := pt[0], pt[1], pt[2]
+			// The expected next value depends only on the chosen action,
+			// not on the current advisory state; compute once per action.
+			var ev [NumAdvisories]float64
+			for a := 0; a < NumAdvisories; a++ {
+				ev[a] = m.expectedNextValue(prev, h, dh0, dh1, Advisory(a), ws[:0])
+			}
+			fillSliceState(m, c, &ev, qk, next)
+		}
+	}
+	parallelRanges(m.contSize, workers, run)
+}
+
+// sweepSliceCached is sweepSlice with the successor projections read from
+// the precomputed transition table: a pure gather/dot-product per (state,
+// action), no geometry or interpolation work per slice.
+func sweepSliceCached(m *model, tr *transitions, prev, qk, next []float64, workers int) {
+	run := func(lo, hi int) {
+		for c := lo; c < hi; c++ {
+			var ev [NumAdvisories]float64
+			g := c * NumAdvisories * numSigmaOutcomes
+			for a := 0; a < NumAdvisories; a++ {
+				base := a * m.contSize
+				total := 0.0
+				for o := 0; o < numSigmaOutcomes; o++ {
+					s := g * maxCorners
+					e := s + int(tr.counts[g])
+					g++
+					v := 0.0
+					for i := s; i < e; i++ {
+						v += tr.weights[i] * prev[base+int(tr.flats[i])]
+					}
+					total += tr.outcomeW[o] * v
+				}
+				ev[a] = total
+			}
+			fillSliceState(m, c, &ev, qk, next)
+		}
+	}
+	parallelRanges(m.contSize, workers, run)
+}
+
+// fillSliceState writes the Q and V entries of one continuous vertex from
+// the per-action expected next values.
+func fillSliceState(m *model, c int, ev *[NumAdvisories]float64, qk, next []float64) {
+	for ra := 0; ra < NumAdvisories; ra++ {
+		s := m.stateIndex(c, Advisory(ra))
+		best := math.Inf(-1)
+		for a := 0; a < NumAdvisories; a++ {
+			q := m.eventCost(Advisory(ra), Advisory(a)) + ev[a]
+			qk[a*m.stateSize+s] = q
+			if q > best {
+				best = q
+			}
+		}
+		next[s] = best
+	}
 }
 
 // Config returns the configuration the table was built with.
@@ -148,25 +205,9 @@ func (t *Table) NumEntries() int {
 // stateSize returns the per-slice V-table size.
 func (t *Table) stateSize() int { return t.contSize * NumAdvisories }
 
-// qValue interpolates Q_k(h, dh0, dh1, ra, a) at integer slice k.
-func (t *Table) qValue(k int, h, dh0, dh1 float64, ra, a Advisory) float64 {
-	var buf [16]interp.VertexWeight
-	pt := [3]float64{h, dh0, dh1}
-	ws, _ := t.grid.WeightsAppend(buf[:0], pt[:])
-	base := int(a)*t.stateSize() + int(ra)*t.contSize
-	v := 0.0
-	for _, vw := range ws {
-		v += vw.Weight * t.q[k][base+vw.Flat]
-	}
-	return v
-}
-
-// QValue interpolates the action value at continuous tau: linear blending
-// between the bracketing slices (clamped to the horizon).
-func (t *Table) QValue(tau, h, dh0, dh1 float64, ra, a Advisory) float64 {
-	if !ra.Valid() || !a.Valid() {
-		return math.Inf(-1)
-	}
+// clampTau maps a continuous tau to the lower bracketing slice index and
+// the blend fraction towards the next slice, saturating at [0, Horizon].
+func (t *Table) clampTau(tau float64) (lo int, frac float64) {
 	if tau < 0 {
 		tau = 0
 	}
@@ -174,30 +215,97 @@ func (t *Table) QValue(tau, h, dh0, dh1 float64, ra, a Advisory) float64 {
 	if tau >= hmax {
 		tau = hmax
 	}
-	lo := int(tau)
-	frac := tau - float64(lo)
-	v := t.qValue(lo, h, dh0, dh1, ra, a)
+	lo = int(tau)
+	return lo, tau - float64(lo)
+}
+
+// QValue interpolates the action value at continuous tau: linear blending
+// between the bracketing slices (clamped to the horizon).
+//
+// This is the per-action reference path: one query computes the vertex
+// weights and reads a single (ra, a) pair. Scans over the whole action set
+// should use AllQValues/BestAdvisoryFast, which share one weight
+// computation across every advisory and both bracketing slices; the golden
+// equivalence test asserts both paths agree bit for bit.
+func (t *Table) QValue(tau, h, dh0, dh1 float64, ra, a Advisory) float64 {
+	if !ra.Valid() || !a.Valid() {
+		return math.Inf(-1)
+	}
+	var buf [16]interp.VertexWeight
+	pt := [3]float64{h, dh0, dh1}
+	ws, _ := t.grid.WeightsAppend(buf[:0], pt[:])
+	lo, frac := t.clampTau(tau)
+	base := int(a)*t.stateSize() + int(ra)*t.contSize
+	v := dotGather(ws, t.q[lo], base)
 	if frac > 0 && lo+1 <= t.Horizon() {
-		v = v*(1-frac) + frac*t.qValue(lo+1, h, dh0, dh1, ra, a)
+		v = v*(1-frac) + frac*dotGather(ws, t.q[lo+1], base)
 	}
 	return v
 }
 
-// BestAdvisory returns the advisory maximizing the interpolated Q value at
-// the given state, considering only advisories allowed by the mask.
-// The boolean is false when the mask bans every action (cannot happen with
-// a default mask, which always allows COC).
-func (t *Table) BestAdvisory(tau, h, dh0, dh1 float64, ra Advisory, mask SenseMask) (Advisory, bool) {
+// dotGather is the interpolation dot product of ws against table[base+...].
+func dotGather(ws []interp.VertexWeight, table []float64, base int) float64 {
+	v := 0.0
+	for _, vw := range ws {
+		v += vw.Weight * table[base+vw.Flat]
+	}
+	return v
+}
+
+// AllQValues fills dst with the interpolated Q value of every advisory at
+// the given state. The vertex weights depend only on (h, dh0, dh1), so they
+// are computed once and reused across all NumAdvisories actions and both
+// bracketing tau slices — one weight computation instead of the
+// 2 x NumAdvisories a per-action scan would perform — and each slice is
+// read in action-major order, matching the Q layout for cache locality.
+// The path allocates nothing; invalid ra fills dst with -Inf.
+//
+// Bit-identical to calling QValue per advisory: the weights are
+// deterministic in the query point and the dot products accumulate in the
+// same order.
+func (t *Table) AllQValues(dst *[NumAdvisories]float64, tau, h, dh0, dh1 float64, ra Advisory) {
+	if !ra.Valid() {
+		for a := range dst {
+			dst[a] = math.Inf(-1)
+		}
+		return
+	}
+	var buf [16]interp.VertexWeight
+	pt := [3]float64{h, dh0, dh1}
+	ws, _ := t.grid.WeightsAppend(buf[:0], pt[:])
+	lo, frac := t.clampTau(tau)
+	raOff := int(ra) * t.contSize
+	stateSize := t.stateSize()
+	qlo := t.q[lo]
+	for a := 0; a < NumAdvisories; a++ {
+		dst[a] = dotGather(ws, qlo, a*stateSize+raOff)
+	}
+	if frac > 0 && lo+1 <= t.Horizon() {
+		qhi := t.q[lo+1]
+		for a := 0; a < NumAdvisories; a++ {
+			dst[a] = dst[a]*(1-frac) + frac*dotGather(ws, qhi, a*stateSize+raOff)
+		}
+	}
+}
+
+// BestAdvisoryFast returns the advisory maximizing the interpolated Q value
+// at the given state, considering only advisories allowed by the mask. It
+// is the allocation-free shared-weight scan the online executive uses on
+// every decision cycle; BestAdvisory delegates here. The boolean is false
+// when the mask bans every action (cannot happen with a default mask, which
+// always allows COC) or ra is invalid.
+func (t *Table) BestAdvisoryFast(tau, h, dh0, dh1 float64, ra Advisory, mask SenseMask) (Advisory, bool) {
+	var q [NumAdvisories]float64
+	t.AllQValues(&q, tau, h, dh0, dh1, ra)
 	best := COC
 	bestQ := math.Inf(-1)
 	found := false
-	for _, a := range Advisories() {
+	for a := COC; a < NumAdvisories; a++ {
 		if !mask.Allows(a) {
 			continue
 		}
-		q := t.QValue(tau, h, dh0, dh1, ra, a)
-		if q > bestQ {
-			bestQ = q
+		if q[a] > bestQ {
+			bestQ = q[a]
 			best = a
 			found = true
 		}
@@ -205,12 +313,20 @@ func (t *Table) BestAdvisory(tau, h, dh0, dh1 float64, ra Advisory, mask SenseMa
 	return best, found
 }
 
+// BestAdvisory returns the advisory maximizing the interpolated Q value at
+// the given state, considering only advisories allowed by the mask.
+func (t *Table) BestAdvisory(tau, h, dh0, dh1 float64, ra Advisory, mask SenseMask) (Advisory, bool) {
+	return t.BestAdvisoryFast(tau, h, dh0, dh1, ra, mask)
+}
+
 // Value returns max_a Q at the state (the optimal state value).
 func (t *Table) Value(tau, h, dh0, dh1 float64, ra Advisory) float64 {
+	var q [NumAdvisories]float64
+	t.AllQValues(&q, tau, h, dh0, dh1, ra)
 	best := math.Inf(-1)
-	for _, a := range Advisories() {
-		if q := t.QValue(tau, h, dh0, dh1, ra, a); q > best {
-			best = q
+	for a := 0; a < NumAdvisories; a++ {
+		if q[a] > best {
+			best = q[a]
 		}
 	}
 	return best

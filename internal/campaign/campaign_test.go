@@ -85,6 +85,27 @@ func TestRunDeterministicAcrossParallelism(t *testing.T) {
 	}
 }
 
+// TestRunClampsOversizedParallelism: an absurd Parallelism is clamped to
+// the CPU count (like BuildTable's worker pool) and still reproduces the
+// serial byte stream exactly.
+func TestRunClampsOversizedParallelism(t *testing.T) {
+	systems := DefaultSystems(nil)
+	serial := testSpec()
+	serial.Parallelism = 1
+	huge := testSpec()
+	huge.Parallelism = 1 << 20
+	var out1, out2 bytes.Buffer
+	if _, err := Run(serial, systems, &out1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(huge, systems, &out2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out1.Bytes(), out2.Bytes()) {
+		t.Error("clamped worker pool changed the JSONL stream")
+	}
+}
+
 func TestSummariesRankedByRiskRatio(t *testing.T) {
 	res, err := Run(testSpec(), DefaultSystems(nil), nil)
 	if err != nil {

@@ -207,8 +207,11 @@ func Run(spec Spec, systems SystemSet, jsonl io.Writer) (*Result, error) {
 		return nil, err
 	}
 
+	// Clamp the pool to the hardware the same way BuildTable does: each
+	// cell is CPU-bound, so oversubscribing beyond NumCPU only adds
+	// scheduler churn.
 	workers := spec.Parallelism
-	if workers <= 0 {
+	if workers < 1 || workers > runtime.NumCPU() {
 		workers = runtime.NumCPU()
 	}
 	if workers > len(cells) {
@@ -226,9 +229,12 @@ func Run(spec Spec, systems SystemSet, jsonl io.Writer) (*Result, error) {
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
+			// Each worker reuses one scratch across all its cells instead
+			// of allocating fresh run buffers per cell.
+			var scratch montecarlo.Scratch
 			for i := range idxCh {
 				c := cells[i]
-				est, err := runCell(spec, c, systems[c.system])
+				est, err := runCell(spec, c, systems[c.system], &scratch)
 				if err != nil {
 					errs[i] = err
 				} else {
@@ -311,8 +317,9 @@ func Run(spec Spec, systems SystemSet, jsonl io.Writer) (*Result, error) {
 }
 
 // runCell evaluates one cell: the fixed scenario replayed Samples times
-// with seed-derived stochastic dynamics and sensor noise.
-func runCell(spec Spec, c cell, factory montecarlo.SystemFactory) (*montecarlo.Estimate, error) {
+// with seed-derived stochastic dynamics and sensor noise. scratch is the
+// owning worker's reusable buffer set.
+func runCell(spec Spec, c cell, factory montecarlo.SystemFactory, scratch *montecarlo.Scratch) (*montecarlo.Estimate, error) {
 	cfg := montecarlo.Config{
 		Samples: c.variant.samples(spec.Samples),
 		Run:     c.variant.apply(spec.Run),
@@ -321,7 +328,7 @@ func runCell(spec Spec, c cell, factory montecarlo.SystemFactory) (*montecarlo.E
 		// single-threaded to avoid oversubscription.
 		Parallelism: 1,
 	}
-	return montecarlo.Evaluate(montecarlo.PointModel(c.params), factory, cfg)
+	return montecarlo.EvaluateWithScratch(montecarlo.PointModel(c.params), factory, cfg, scratch)
 }
 
 // summarize pools cells into per-(system, variant) aggregates and ranks

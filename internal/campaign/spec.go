@@ -108,7 +108,9 @@ type Spec struct {
 	// Seed makes the whole campaign reproducible: scenario draws, per-cell
 	// sampling, and dynamics seeds all derive from it.
 	Seed uint64
-	// Parallelism bounds concurrent cells (0 = NumCPU).
+	// Parallelism bounds concurrent cells (0 = NumCPU; values above the
+	// CPU count are clamped to it, matching the offline solver's worker
+	// pool — campaign cells are CPU-bound, so extra workers only thrash).
 	Parallelism int
 }
 

@@ -119,12 +119,19 @@ func (g *Grid) Coords(flat int) []int {
 
 // Point returns the coordinates of the vertex at the given flat index.
 func (g *Grid) Point(flat int) []float64 {
-	idx := g.Coords(flat)
-	pt := make([]float64, len(idx))
-	for d, i := range idx {
-		pt[d] = g.axes[d][i]
+	return g.PointAppend(make([]float64, 0, len(g.axes)), flat)
+}
+
+// PointAppend appends the coordinates of the vertex at the given flat index
+// to dst and returns the extended slice. It performs no allocation when dst
+// has capacity, so hot loops (the offline sweep visits every vertex every
+// slice) can reuse one scratch buffer.
+func (g *Grid) PointAppend(dst []float64, flat int) []float64 {
+	for d := range g.axes {
+		i := flat / g.strides[d] % len(g.axes[d])
+		dst = append(dst, g.axes[d][i])
 	}
-	return pt
+	return dst
 }
 
 // locate finds, for value x on axis d, the lower bracketing cut-point index

@@ -74,10 +74,47 @@ type Estimate struct {
 	MeanAlerts float64
 }
 
+// outcome is the per-simulation record pooled into an Estimate.
+type outcome struct {
+	nmac    bool
+	alerted bool
+	alerts  int
+	minSep  float64
+	err     error
+}
+
+// Scratch holds reusable evaluation buffers. A caller running many
+// evaluations back to back (the campaign engine runs one per cell) can hold
+// one Scratch per worker and avoid re-allocating the per-sample outcome
+// buffer every call. A Scratch must not be shared between concurrent
+// Evaluate calls; the zero value is ready to use.
+type Scratch struct {
+	outcomes []outcome
+}
+
+// grow returns a zeroed outcome buffer of length n backed by the scratch's
+// storage where capacity allows.
+func (s *Scratch) grow(n int) []outcome {
+	if cap(s.outcomes) < n {
+		s.outcomes = make([]outcome, n)
+	}
+	s.outcomes = s.outcomes[:n]
+	clear(s.outcomes)
+	return s.outcomes
+}
+
 // Evaluate estimates event probabilities for one system configuration
 // against the encounter model. Simulations are distributed over a worker
 // pool; the result is deterministic for a given seed.
 func Evaluate(model EncounterModel, factory SystemFactory, cfg Config) (*Estimate, error) {
+	return EvaluateWithScratch(model, factory, cfg, nil)
+}
+
+// EvaluateWithScratch is Evaluate with caller-owned buffer reuse: scratch
+// (may be nil) supplies the per-sample outcome buffer. The returned
+// estimate is identical to Evaluate's — sample seeds derive from
+// (cfg.Seed, index) regardless of scheduling.
+func EvaluateWithScratch(model EncounterModel, factory SystemFactory, cfg Config, scratch *Scratch) (*Estimate, error) {
 	if err := model.Validate(); err != nil {
 		return nil, err
 	}
@@ -99,45 +136,52 @@ func Evaluate(model EncounterModel, factory SystemFactory, cfg Config) (*Estimat
 		workers = cfg.Samples
 	}
 
-	type outcome struct {
-		nmac    bool
-		alerted bool
-		alerts  int
-		minSep  float64
-		err     error
+	if scratch == nil {
+		scratch = &Scratch{}
 	}
-	outcomes := make([]outcome, cfg.Samples)
-	var wg sync.WaitGroup
-	idxCh := make(chan int)
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for i := range idxCh {
-				// Sample i's encounter and dynamics seeds both derive from
-				// (cfg.Seed, i): fully reproducible and order-independent.
-				rng := stats.NewChildRNG(cfg.Seed, i)
-				p := model.Sample(rng)
-				own, intr := factory()
-				res, err := sim.RunEncounter(p, own, intr, cfg.Run, stats.DeriveSeed(cfg.Seed^0xABCD, i))
-				if err != nil {
-					outcomes[i] = outcome{err: err}
-					continue
+	outcomes := scratch.grow(cfg.Samples)
+	simulate := func(i int) {
+		// Sample i's encounter and dynamics seeds both derive from
+		// (cfg.Seed, i): fully reproducible and order-independent.
+		rng := stats.NewChildRNG(cfg.Seed, i)
+		p := model.Sample(rng)
+		own, intr := factory()
+		res, err := sim.RunEncounter(p, own, intr, cfg.Run, stats.DeriveSeed(cfg.Seed^0xABCD, i))
+		if err != nil {
+			outcomes[i] = outcome{err: err}
+			return
+		}
+		outcomes[i] = outcome{
+			nmac:    res.NMAC,
+			alerted: res.Alerted(),
+			alerts:  res.OwnAlerts + res.IntruderAlerts,
+			minSep:  res.MinSeparation,
+		}
+	}
+	if workers <= 1 {
+		// Serial fast path: no goroutines or channel traffic. The campaign
+		// pool pins each cell to one worker, so this is its steady state.
+		for i := 0; i < cfg.Samples; i++ {
+			simulate(i)
+		}
+	} else {
+		var wg sync.WaitGroup
+		idxCh := make(chan int)
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for i := range idxCh {
+					simulate(i)
 				}
-				outcomes[i] = outcome{
-					nmac:    res.NMAC,
-					alerted: res.Alerted(),
-					alerts:  res.OwnAlerts + res.IntruderAlerts,
-					minSep:  res.MinSeparation,
-				}
-			}
-		}()
+			}()
+		}
+		for i := 0; i < cfg.Samples; i++ {
+			idxCh <- i
+		}
+		close(idxCh)
+		wg.Wait()
 	}
-	for i := 0; i < cfg.Samples; i++ {
-		idxCh <- i
-	}
-	close(idxCh)
-	wg.Wait()
 
 	est := &Estimate{Samples: cfg.Samples}
 	var sep, alerts stats.Accumulator

@@ -242,3 +242,34 @@ func TestEvaluateDeterministicAcrossParallelism(t *testing.T) {
 		t.Errorf("parallelism changed the estimate: %+v vs %+v", a, b)
 	}
 }
+
+// TestEvaluateWithScratchReuse: reusing one scratch across successive
+// evaluations (the campaign worker pattern) must not change any estimate,
+// including when a larger evaluation precedes a smaller one and the buffer
+// is re-sliced.
+func TestEvaluateWithScratchReuse(t *testing.T) {
+	model := DefaultEncounterModel()
+	run := func(samples int, seed uint64, scratch *Scratch) *Estimate {
+		cfg := DefaultConfig()
+		cfg.Samples = samples
+		cfg.Seed = seed
+		cfg.Parallelism = 1
+		est, err := EvaluateWithScratch(model, Unequipped, cfg, scratch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return est
+	}
+	var scratch Scratch
+	for _, tc := range []struct {
+		samples int
+		seed    uint64
+	}{{120, 3}, {40, 4}, {120, 3}, {80, 5}} {
+		got := run(tc.samples, tc.seed, &scratch)
+		want := run(tc.samples, tc.seed, nil)
+		if *got != *want {
+			t.Errorf("samples=%d seed=%d: scratch reuse changed the estimate: %+v vs %+v",
+				tc.samples, tc.seed, got, want)
+		}
+	}
+}

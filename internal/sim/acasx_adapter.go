@@ -8,6 +8,11 @@ import (
 
 // ACASXU adapts the acasx logic executive to the System interface, so the
 // encounter runner can equip an aircraft with the table-driven logic.
+//
+// Decide is on the innermost loop of every validation workload (Monte-Carlo
+// estimation, GA search, campaign sweeps): each call runs one decision
+// cycle through the executive's shared-weight table scan
+// (Table.BestAdvisoryFast), which performs no allocation.
 type ACASXU struct {
 	logic *acasx.Logic
 }

@@ -1,0 +1,56 @@
+#!/bin/sh
+# bench.sh — record one point of the repo's performance trajectory.
+#
+# Runs the paper-figure benchmark harness (E1-E8, see bench_test.go), the
+# campaign sweep benchmark, and the online hot-path lookup benchmark, then
+# converts the output into BENCH_<date>.json via cmd/benchjson. Snapshots
+# are meant to be checked in so the trajectory accumulates; compare two with
+#
+#	go run ./cmd/benchjson -compare BENCH_old.json BENCH_new.json
+#
+# Environment overrides:
+#	OUT               output file   (default BENCH_<today>.json)
+#	BENCHTIME         -benchtime for the E1-E8 harness (default 1x)
+#	LOOKUP_BENCHTIME  -benchtime for the lookup hot path (default 100000x)
+set -eu
+cd "$(dirname "$0")/.."
+
+OUT=${OUT:-BENCH_$(date +%Y-%m-%d).json}
+BENCHTIME=${BENCHTIME:-1x}
+LOOKUP_BENCHTIME=${LOOKUP_BENCHTIME:-100000x}
+
+TMP=$(mktemp)
+STAGE=$(mktemp)
+trap 'rm -f "$TMP" "$STAGE"' EXIT
+
+# run_bench captures one `go test -bench` invocation, echoing its output
+# and appending it to $TMP. A plain `go test | tee` pipeline would return
+# tee's status under POSIX sh (no pipefail), letting a failed benchmark run
+# still write a snapshot; capture-then-check keeps failures fatal.
+run_bench() {
+	if ! go test "$@" >"$STAGE" 2>&1; then
+		cat "$STAGE" >&2
+		echo "bench.sh: benchmark run failed; no snapshot written" >&2
+		exit 1
+	fi
+	cat "$STAGE"
+	cat "$STAGE" >>"$TMP"
+}
+
+# E1-E8 + campaign sweep: one iteration by default — these exist to record
+# the reported shape metrics (NMAC rates, risk ratios, fitness) alongside
+# coarse timings.
+run_bench -run '^$' \
+  -bench '^(BenchmarkFig5HeadOn|BenchmarkFig6GASearch|BenchmarkFig7Fig8TailApproach|BenchmarkSectionIIIGrid2D|BenchmarkValueIterationFullTable|BenchmarkGAVersusRandomSearch|BenchmarkMonteCarloRiskRatio|BenchmarkCampaignSweep)$' \
+  -benchtime "$BENCHTIME" -benchmem .
+
+# The online hot path needs real iteration counts for a stable ns/op, and
+# its allocs/op must stay 0 (CI gates on it).
+run_bench -run '^$' -bench '^BenchmarkTableLookupHot$' \
+  -benchtime "$LOOKUP_BENCHTIME" -benchmem .
+
+# Convert into $STAGE first and move into place, so a benchjson failure
+# cannot leave a truncated snapshot behind.
+go run ./cmd/benchjson <"$TMP" >"$STAGE"
+mv "$STAGE" "$OUT"
+echo "wrote $OUT"
