@@ -19,6 +19,7 @@ package acasxval
 // numbers alongside the timings.
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
@@ -288,6 +289,43 @@ func BenchmarkCampaignSweep(b *testing.B) {
 	}
 	b.ReportMetric(runs, "sims-per-campaign")
 	b.ReportMetric(nmacRate, "baseline-P-NMAC")
+}
+
+// BenchmarkIslandSearch measures the island-model adversarial search
+// engine's throughput at a fixed total budget (24 individuals per
+// generation split across the islands), so the enc-evals/s metric shows how
+// search throughput scales with island count. Tracked in the
+// BENCH_<date>.json snapshots.
+func BenchmarkIslandSearch(b *testing.B) {
+	table := benchLogicTable(b)
+	factory := func() (sim.System, sim.System) {
+		return NewACASXU(table), NewACASXU(table)
+	}
+	for _, islands := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("islands=%d", islands), func(b *testing.B) {
+			spec := DefaultSearchSpec()
+			spec.Islands = islands
+			spec.MigrationInterval = 1
+			spec.MigrationSize = 1
+			spec.GA.PopulationSize = 24 / islands
+			spec.GA.Generations = 3
+			spec.Fitness.SimsPerEncounter = 8
+			spec.ArchiveThreshold = 4000
+			var evalsPerSec, archived float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				spec.Seed = uint64(i + 1)
+				res, err := RunSearch(spec, factory, SearchOptions{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				evalsPerSec = float64(res.NumEvaluations) / res.Elapsed.Seconds()
+				archived = float64(res.Archive.Len())
+			}
+			b.ReportMetric(evalsPerSec, "enc-evals/s")
+			b.ReportMetric(archived, "archived")
+		})
+	}
 }
 
 // BenchmarkTableLookupHot exercises the online logic's hot path: a single

@@ -11,9 +11,13 @@
 //
 //	sweep [-spec params/sweep-demo.params] [-out results.jsonl]
 //	      [-seed N] [-samples N] [-table table.acxt] [-full]
+//	      [-extra danger.jsonl]
 //
 // With no -out, the JSONL stream precedes the summary on stdout. Timing
-// goes to stderr so stdout stays reproducible.
+// goes to stderr so stdout stays reproducible. -extra appends the entries
+// of a danger archive (written by casearch -islands N -archive) to the
+// campaign's scenario axis, closing the sweep -> search -> archive -> sweep
+// loop.
 package main
 
 import (
@@ -25,6 +29,7 @@ import (
 
 	"acasxval/internal/campaign"
 	"acasxval/internal/cli"
+	"acasxval/internal/search"
 )
 
 func main() {
@@ -42,12 +47,25 @@ func run() (err error) {
 		samples   = flag.Int("samples", 0, "override the spec's per-cell sample count (0 keeps the spec value)")
 		tablePath = flag.String("table", "", "logic table path (built on the fly when absent)")
 		full      = flag.Bool("full", false, "build the full-resolution table instead of the coarse one")
+		extra     = flag.String("extra", "", "danger-archive JSONL whose entries join the scenario axis")
 	)
 	flag.Parse()
 
 	spec, err := campaign.Load(*specPath)
 	if err != nil {
 		return err
+	}
+	if *extra != "" {
+		entries, err := search.LoadArchiveFile(*extra)
+		if err != nil {
+			return err
+		}
+		scenarios, err := search.CampaignScenarios(entries)
+		if err != nil {
+			return err
+		}
+		spec.Scenarios = append(spec.Scenarios, scenarios...)
+		fmt.Fprintf(os.Stderr, "added %d archive scenarios from %s\n", len(scenarios), *extra)
 	}
 	if *seed != 0 {
 		spec.Seed = *seed

@@ -19,13 +19,26 @@
 // On top of both sits the campaign sweep engine, the batch validation
 // answer to the paper's insistence that single-scenario checks are not
 // enough: a CampaignSpec declares a scenario x system x configuration
-// cross-product (named encounter presets and/or statistical-model draws;
-// unequipped, table logic, belief executive, SVO; run-config and
-// sample-count variants), RunCampaign fans it out over a deterministic
-// seed-derived worker pool, streams one JSONL record per cell, and ranks
-// systems by risk ratio against the unequipped baseline. Specs load from
-// ECJ-style parameter files (LoadCampaignSpec), so campaigns are
-// checked-in, versioned artifacts; cmd/sweep is the command-line driver.
+// cross-product (named encounter presets, explicit scenarios and/or
+// statistical-model draws; unequipped, table logic, belief executive, SVO;
+// run-config and sample-count variants), RunCampaign fans it out over a
+// deterministic seed-derived worker pool, streams one JSONL record per
+// cell, and ranks systems by risk ratio against the unequipped baseline.
+// Specs load from ECJ-style parameter files (LoadCampaignSpec), so
+// campaigns are checked-in, versioned artifacts; cmd/sweep is the
+// command-line driver.
+//
+// Sweeps and searches close into a loop. The island-model adversarial
+// search engine (RunSearch, SearchSpec, LoadSearchSpec) evolves N
+// concurrent island populations with ring migration, scoring every genome
+// through the same Monte-Carlo harness the campaigns use; its initial
+// populations can seed from a prior sweep's worst cells (SweepSeedGenomes),
+// its state checkpoints after every generation so a killed run resumes
+// byte-identically (SearchOptions), and every encounter crossing the risk
+// threshold lands in a deduplicated danger archive whose JSONL reloads as
+// explicit campaign scenarios (LoadDangerArchive, ArchiveCampaignScenarios)
+// — sweep -> search -> archive -> sweep. cmd/casearch drives the engine
+// with -islands N; examples/adversarial walks the loop end to end.
 //
 // Quick start:
 //

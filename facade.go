@@ -10,6 +10,7 @@ import (
 	"acasxval/internal/ga"
 	"acasxval/internal/grid2d"
 	"acasxval/internal/montecarlo"
+	"acasxval/internal/search"
 	"acasxval/internal/sim"
 	"acasxval/internal/svo"
 )
@@ -98,6 +99,24 @@ type (
 	CampaignResult = campaign.Result
 	// CampaignSystems maps system names to factories for campaign runs.
 	CampaignSystems = campaign.SystemSet
+	// CampaignScenario is one explicit fixed scenario of a campaign
+	// (typically a reloaded danger-archive entry).
+	CampaignScenario = campaign.Scenario
+
+	// SearchSpec declares an island-model adversarial search.
+	SearchSpec = search.Spec
+	// SearchOptions control one search invocation (checkpointing, resume,
+	// early stop, progress observer).
+	SearchOptions = search.Options
+	// IslandSearchResult is the outcome of an island-model search.
+	IslandSearchResult = search.Result
+	// IslandStats is one island's per-generation progress report.
+	IslandStats = search.IslandStats
+	// DangerArchive is the deduplicated store of discovered dangerous
+	// encounters.
+	DangerArchive = search.Archive
+	// DangerArchiveEntry is one archived dangerous encounter.
+	DangerArchiveEntry = search.ArchiveEntry
 )
 
 // Advisories.
@@ -243,6 +262,41 @@ func DefaultCampaignSystems(table *Table) CampaignSystems { return campaign.Defa
 // byte-identical across runs with the same spec.
 func RunCampaign(spec CampaignSpec, systems CampaignSystems, jsonl io.Writer) (*CampaignResult, error) {
 	return campaign.Run(spec, systems, jsonl)
+}
+
+// DefaultSearchSpec returns the paper-scale island search: 4 islands of 50
+// individuals (the paper's total population of 200) for 5 generations.
+func DefaultSearchSpec() SearchSpec { return search.DefaultSpec() }
+
+// LoadSearchSpec reads an island-search declaration from an ECJ-style
+// parameter file (see search.FromConfig for the recognized keys).
+func LoadSearchSpec(path string) (SearchSpec, error) { return search.Load(path) }
+
+// RunSearch executes the island-model adversarial search: N islands evolve
+// concurrently with ring migration, every evaluation runs through the
+// Monte-Carlo harness, dangerous encounters accumulate in the result's
+// deduplicated archive, and — when opts.CheckpointPath is set — the state
+// checkpoints after every generation so a killed run resumes bit-identically
+// (opts.Resume).
+func RunSearch(spec SearchSpec, factory SystemFactory, opts SearchOptions) (*IslandSearchResult, error) {
+	return search.Run(spec, core.SystemFactory(factory), opts)
+}
+
+// LoadDangerArchive reads a danger-archive JSONL file written by a search.
+func LoadDangerArchive(path string) ([]DangerArchiveEntry, error) {
+	return search.LoadArchiveFile(path)
+}
+
+// ArchiveCampaignScenarios converts danger-archive entries into explicit
+// campaign scenarios, closing the sweep -> search -> archive -> sweep loop.
+func ArchiveCampaignScenarios(entries []DangerArchiveEntry) ([]CampaignScenario, error) {
+	return search.CampaignScenarios(entries)
+}
+
+// SweepSeedGenomes extracts worst-first seed genomes from a campaign
+// sweep's JSONL output file, for SearchSpec.SeedGenomes.
+func SweepSeedGenomes(path string, limit int) ([][]float64, error) {
+	return search.SweepSeedsFile(path, limit)
 }
 
 // DefaultGrid2DConfig returns the paper's section III parameterization.

@@ -3,6 +3,7 @@ package campaign
 import (
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"math"
 	"runtime"
@@ -23,6 +24,9 @@ const BaselineSystem = "none"
 
 // modelDrawSalt decorrelates scenario-draw seeds from cell-sampling seeds.
 const modelDrawSalt = 0x5CEA12105A17
+
+// modelDrawName labels the i-th encounter-model draw in the scenario axis.
+func modelDrawName(i int) string { return fmt.Sprintf("model/%03d", i) }
 
 // SystemSet maps system names to factories producing fresh system pairs.
 type SystemSet map[string]montecarlo.SystemFactory
@@ -99,6 +103,15 @@ type CellResult struct {
 	AlertRate  float64 `json:"alert_rate"`
 	MeanAlerts float64 `json:"mean_alerts"`
 	MeanMinSep float64 `json:"mean_min_sep_m"`
+	// Params is the cell's encounter parameter vector in genome order, so
+	// downstream consumers (the adversarial search's campaign seeding) can
+	// reconstruct the exact scenario from the JSONL record alone.
+	Params []float64 `json:"params"`
+}
+
+// EncounterParams decodes the record's parameter vector.
+func (c CellResult) EncounterParams() (encounter.Params, error) {
+	return encounter.FromVector(c.Params)
 }
 
 // SystemSummary aggregates one (system, variant) pair across every
@@ -162,13 +175,15 @@ func (s Spec) cells() ([]cell, error) {
 		}
 		scenarios = append(scenarios, scenario{name, encounter.Classify(p).Category.String(), p})
 	}
+	for _, sc := range s.Scenarios {
+		scenarios = append(scenarios, scenario{sc.Name, encounter.Classify(sc.Params).Category.String(), sc.Params})
+	}
 	model := s.model()
 	for i := 0; i < s.ModelDraws; i++ {
 		// Scenario draws derive from the campaign seed alone, so the same
 		// spec always sweeps the same sampled encounters.
 		p := model.Sample(stats.NewChildRNG(s.Seed^modelDrawSalt, i))
-		name := fmt.Sprintf("model/%03d", i)
-		scenarios = append(scenarios, scenario{name, encounter.Classify(p).Category.String(), p})
+		scenarios = append(scenarios, scenario{modelDrawName(i), encounter.Classify(p).Category.String(), p})
 	}
 	var cells []cell
 	for _, v := range s.variantsOrDefault() {
@@ -253,6 +268,7 @@ func Run(spec Spec, systems SystemSet, jsonl io.Writer) (*Result, error) {
 						AlertRate:  est.AlertRate,
 						MeanAlerts: est.MeanAlerts,
 						MeanMinSep: est.MeanMinSeparation,
+						Params:     c.params.Vector(),
 					}
 				}
 				doneCh <- i
@@ -316,6 +332,22 @@ func Run(spec Spec, systems SystemSet, jsonl io.Writer) (*Result, error) {
 	return res, nil
 }
 
+// cellSeed derives a cell's Monte-Carlo seed from its stable identity
+// (scenario, system, variant names) rather than its ordinal index, so
+// growing one axis — most importantly appending reloaded danger-archive
+// scenarios — cannot shift the stochastic draws of every pre-existing
+// cell. Identical cells across sweeps report identical numbers, which is
+// what makes a `sweep -extra` run comparable against the sweep it grew
+// from.
+func cellSeed(seed uint64, c cell) uint64 {
+	h := fnv.New64a()
+	// Length-prefix each component: names are arbitrary strings, so a
+	// plain separator could make distinct identities hash alike.
+	fmt.Fprintf(h, "%d:%s|%d:%s|%d:%s",
+		len(c.scenario), c.scenario, len(c.system), c.system, len(c.variant.Name), c.variant.Name)
+	return stats.DeriveSeed(seed^h.Sum64(), 0)
+}
+
 // runCell evaluates one cell: the fixed scenario replayed Samples times
 // with seed-derived stochastic dynamics and sensor noise. scratch is the
 // owning worker's reusable buffer set.
@@ -323,7 +355,7 @@ func runCell(spec Spec, c cell, factory montecarlo.SystemFactory, scratch *monte
 	cfg := montecarlo.Config{
 		Samples: c.variant.samples(spec.Samples),
 		Run:     c.variant.apply(spec.Run),
-		Seed:    stats.DeriveSeed(spec.Seed, c.index),
+		Seed:    cellSeed(spec.Seed, c),
 		// The campaign pool already saturates the CPUs; keep each cell
 		// single-threaded to avoid oversubscription.
 		Parallelism: 1,

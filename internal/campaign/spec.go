@@ -32,6 +32,7 @@ import (
 	"acasxval/internal/encounter"
 	"acasxval/internal/montecarlo"
 	"acasxval/internal/sim"
+	"acasxval/internal/stats"
 )
 
 // Variant is one run-configuration axis point: a named set of overrides
@@ -77,6 +78,19 @@ func (v Variant) samples(base int) int {
 	return base
 }
 
+// Scenario is one explicit fixed encounter scenario: a name and the nine
+// encounter parameters. Explicit scenarios let a campaign replay encounters
+// that are not shipped presets — most importantly the entries of a danger
+// archive written by the adversarial search engine, closing the
+// sweep -> search -> archive -> sweep loop.
+type Scenario struct {
+	// Name labels the scenario in cell records (must be unique across the
+	// campaign's scenario axis).
+	Name string
+	// Params are the encounter parameters replayed by the scenario.
+	Params encounter.Params
+}
+
 // Spec declares a campaign: which scenarios to run, against which systems,
 // under which configuration variants.
 type Spec struct {
@@ -85,6 +99,9 @@ type Spec struct {
 
 	// Presets are named encounter presets (encounter.PresetNames).
 	Presets []string
+	// Scenarios are explicit fixed scenarios appended after the presets
+	// (typically reloaded danger-archive entries).
+	Scenarios []Scenario
 	// ModelDraws adds this many scenarios sampled from Model. Draws are
 	// seed-derived, so the same spec always sweeps the same scenarios.
 	ModelDraws int
@@ -150,20 +167,46 @@ func (s Spec) Validate() error {
 	if s.Name == "" {
 		return fmt.Errorf("campaign: empty name")
 	}
-	if len(s.Presets) == 0 && s.ModelDraws <= 0 {
-		return fmt.Errorf("campaign: no scenarios (want presets and/or model draws)")
+	if len(s.Presets) == 0 && len(s.Scenarios) == 0 && s.ModelDraws <= 0 {
+		return fmt.Errorf("campaign: no scenarios (want presets, explicit scenarios and/or model draws)")
 	}
 	if s.ModelDraws < 0 {
 		return fmt.Errorf("campaign: negative model draws %d", s.ModelDraws)
 	}
-	seenPreset := make(map[string]bool, len(s.Presets))
+	seenScenario := make(map[string]bool, len(s.Presets)+len(s.Scenarios))
 	for _, name := range s.Presets {
-		if seenPreset[name] {
+		if seenScenario[name] {
 			return fmt.Errorf("campaign: duplicate preset %q", name)
 		}
-		seenPreset[name] = true
+		seenScenario[name] = true
 		if _, err := encounter.Preset(name); err != nil {
 			return fmt.Errorf("campaign: %w", err)
+		}
+	}
+	for _, sc := range s.Scenarios {
+		if sc.Name == "" {
+			return fmt.Errorf("campaign: scenario with empty name")
+		}
+		if seenScenario[sc.Name] {
+			return fmt.Errorf("campaign: duplicate scenario %q", sc.Name)
+		}
+		seenScenario[sc.Name] = true
+		if !stats.AllFinite(sc.Params.Vector()...) {
+			return fmt.Errorf("campaign: scenario %q has a non-finite parameter", sc.Name)
+		}
+	}
+	// Model-draw scenarios are named at expansion time; a preset or
+	// explicit scenario reusing such a name would collide in the cell
+	// stream and share its seed identity. Scan the declared names (not
+	// the draw count, which may be huge) for collisions.
+	for name := range seenScenario {
+		suffix, ok := strings.CutPrefix(name, "model/")
+		if !ok {
+			continue
+		}
+		n, err := strconv.Atoi(suffix)
+		if err == nil && n >= 0 && n < s.ModelDraws && name == modelDrawName(n) {
+			return fmt.Errorf("campaign: scenario name %q collides with a model draw", name)
 		}
 	}
 	if s.ModelDraws > 0 {

@@ -1,0 +1,92 @@
+package config
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// FuzzLoadParams asserts the ECJ-style parameter parser never panics:
+// arbitrary text either parses or errors. Parsed parameter sets must
+// round-trip through Dump (parsed keys can never start with a comment
+// marker, so Dump output re-parses to the same set), and every typed getter
+// must return cleanly on every key.
+func FuzzLoadParams(f *testing.F) {
+	// Seed the corpus with the shipped parameter files.
+	paths, err := filepath.Glob(filepath.Join("..", "..", "params", "*.params"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	if len(paths) == 0 {
+		f.Fatal("no shipped params files found for the seed corpus")
+	}
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(data))
+	}
+	f.Add("key = value\n# comment\n! legacy comment\n")
+	f.Add("= empty key")
+	f.Add("no equals sign")
+	f.Add("a=1\na=2\n")
+	f.Add("seed = 18446744073709551615")
+	f.Add("list = a, b,\t c,,")
+
+	f.Fuzz(func(t *testing.T, text string) {
+		p, err := Parse(text)
+		if err != nil {
+			return
+		}
+		dumped := p.Dump()
+		again, err := Parse(dumped)
+		if err != nil {
+			t.Fatalf("Dump output failed to re-parse: %v\ndump:\n%s", err, dumped)
+		}
+		if got := again.Dump(); got != dumped {
+			t.Errorf("Dump round trip drifted:\nfirst:\n%s\nsecond:\n%s", dumped, got)
+		}
+		// Typed getters must error or succeed, never panic, on any key.
+		for _, key := range p.Keys() {
+			p.Int(key)
+			p.Uint64(key)
+			p.Float(key)
+			p.Bool(key)
+			p.Strings(key)
+			p.Floats(key)
+		}
+	})
+}
+
+// FuzzLoadFile drives the include-resolving file loader: the fuzzed text is
+// written to disk and loaded as a real parameter file. parent.N includes
+// are forced to resolve inside the temp dir, so malformed include chains
+// error instead of escaping.
+func FuzzLoadFile(f *testing.F) {
+	f.Add("parent.0 = base.params\npop.size = 40\n")
+	f.Add("parent.0 = missing.params\n")
+	f.Add("parent.0 = self.params\n")
+	f.Add("key = value\n")
+	f.Fuzz(func(t *testing.T, text string) {
+		// Skip absolute or escaping include targets: the loader follows
+		// them by design, and the fuzzer must stay inside its sandbox.
+		for _, line := range strings.Split(text, "\n") {
+			key, value, ok := strings.Cut(line, "=")
+			if !ok || !strings.HasPrefix(strings.TrimSpace(key), "parent.") {
+				continue
+			}
+			target := strings.TrimSpace(value)
+			if filepath.IsAbs(target) || strings.Contains(target, "..") {
+				t.Skip("include escapes the sandbox")
+			}
+		}
+		dir := t.TempDir()
+		path := filepath.Join(dir, "self.params")
+		if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		Load(path) // must not panic; errors are expected for most inputs
+	})
+}

@@ -8,6 +8,59 @@ import "math"
 // the difference between "the GA has found the failure region" and "the GA
 // is still wandering".
 
+// boundsScale returns the per-gene 1/width factors that map genes into
+// [0, 1] (0 for degenerate zero-width genes).
+func boundsScale(bounds Bounds) []float64 {
+	scale := make([]float64, bounds.Len())
+	for d := range scale {
+		w := bounds.Hi[d] - bounds.Lo[d]
+		if w > 0 {
+			scale[d] = 1 / w
+		}
+	}
+	return scale
+}
+
+// NormalizedDistance computes the Euclidean distance between two genomes
+// with every gene scaled into [0, 1] by the bounds, divided by the maximum
+// possible distance sqrt(dims), so the result lies in [0, 1]. Genomes whose
+// length does not match the bounds are maximally distant (1). This is the
+// geometry metric the danger archive deduplicates encounters by. Callers
+// measuring many pairs against fixed bounds should precompute a
+// DistanceScale instead.
+func NormalizedDistance(a, b []float64, bounds Bounds) float64 {
+	return NewDistanceScale(bounds).Distance(a, b)
+}
+
+// DistanceScale caches the bounds normalization of NormalizedDistance for
+// repeated queries against the same bounds.
+type DistanceScale struct {
+	scale []float64
+}
+
+// NewDistanceScale precomputes the per-gene scaling of bounds.
+func NewDistanceScale(bounds Bounds) DistanceScale {
+	return DistanceScale{scale: boundsScale(bounds)}
+}
+
+// Distance is NormalizedDistance with the precomputed scaling.
+func (s DistanceScale) Distance(a, b []float64) float64 {
+	dims := len(s.scale)
+	if dims == 0 || len(a) != dims || len(b) != dims {
+		return 1
+	}
+	return normalizedDistance(a, b, s.scale, dims)
+}
+
+func normalizedDistance(a, b, scale []float64, dims int) float64 {
+	s := 0.0
+	for d := 0; d < dims; d++ {
+		diff := (a[d] - b[d]) * scale[d]
+		s += diff * diff
+	}
+	return math.Sqrt(s) / math.Sqrt(float64(dims))
+}
+
 // NormalizedDiversity computes the mean pairwise Euclidean distance between
 // genomes, with every gene scaled into [0, 1] by the bounds, divided by the
 // maximum possible distance sqrt(dims). Returns a value in [0, 1]: 0 for a
@@ -19,13 +72,7 @@ func NormalizedDiversity(pop Population, bounds Bounds) float64 {
 		return 0
 	}
 	dims := bounds.Len()
-	scale := make([]float64, dims)
-	for d := 0; d < dims; d++ {
-		w := bounds.Hi[d] - bounds.Lo[d]
-		if w > 0 {
-			scale[d] = 1 / w
-		}
-	}
+	scale := boundsScale(bounds)
 	total := 0.0
 	pairs := 0
 	for i := 0; i < n; i++ {
@@ -38,19 +85,14 @@ func NormalizedDiversity(pop Population, bounds Bounds) float64 {
 			if len(gj) != dims {
 				continue
 			}
-			s := 0.0
-			for d := 0; d < dims; d++ {
-				diff := (gi[d] - gj[d]) * scale[d]
-				s += diff * diff
-			}
-			total += math.Sqrt(s)
+			total += normalizedDistance(gi, gj, scale, dims)
 			pairs++
 		}
 	}
 	if pairs == 0 {
 		return 0
 	}
-	return total / float64(pairs) / math.Sqrt(float64(dims))
+	return total / float64(pairs)
 }
 
 // Stagnation counts how many trailing generations failed to improve the

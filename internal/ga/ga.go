@@ -280,6 +280,22 @@ func evaluatePopulation(ev Evaluator, pop Population, gen int, p Params, res *Re
 	}
 }
 
+// Summarize computes the per-generation statistics of an evaluated
+// population. Exported for engines that drive their own generational loop
+// (the island-model search) but want Run-identical reporting.
+func Summarize(pop Population, gen int) GenerationStats {
+	return summarize(pop, gen)
+}
+
+// Breed produces the successor population from an evaluated one using the
+// configured operators: elites survive unchanged (keeping their fitness),
+// the rest come from selection + crossover + mutation and are marked
+// unevaluated. The input population is not modified. Exported for engines
+// that drive their own generational loop.
+func Breed(pop Population, bounds Bounds, p Params, rng *rand.Rand) Population {
+	return nextGeneration(pop, bounds, p, rng)
+}
+
 func summarize(pop Population, gen int) GenerationStats {
 	gs := GenerationStats{Generation: gen}
 	var acc stats.Accumulator

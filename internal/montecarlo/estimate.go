@@ -72,6 +72,12 @@ type Estimate struct {
 	// false-alarm-rate proxy: most sampled conflicts are resolvable with
 	// one advisory; repeated alerts indicate churn).
 	MeanAlerts float64
+	// MeanInverseSeparation averages 1/(1 + d_k) over the runs, with d_k
+	// forced to zero when run k ends in an NMAC — the paper's search
+	// fitness divided by its collision gain. Exposing it here lets the
+	// adversarial search engine score genomes straight off the Monte-Carlo
+	// harness (fitness = gain * MeanInverseSeparation).
+	MeanInverseSeparation float64
 }
 
 // outcome is the per-simulation record pooled into an Estimate.
@@ -184,26 +190,31 @@ func EvaluateWithScratch(model EncounterModel, factory SystemFactory, cfg Config
 	}
 
 	est := &Estimate{Samples: cfg.Samples}
-	var sep, alerts stats.Accumulator
+	var sep, alerts, invSep stats.Accumulator
 	alerted := 0
 	for _, o := range outcomes {
 		if o.err != nil {
 			return nil, o.err
 		}
+		d := o.minSep
 		if o.nmac {
 			est.NMACs++
+			// An NMAC scores the full collision gain: d_k = 0.
+			d = 0
 		}
 		if o.alerted {
 			alerted++
 		}
 		sep.Add(o.minSep)
 		alerts.Add(float64(o.alerts))
+		invSep.Add(1 / (1 + d))
 	}
 	est.PNMAC = float64(est.NMACs) / float64(cfg.Samples)
 	est.PNMACCI = stats.WilsonCI(est.NMACs, cfg.Samples, confidence)
 	est.AlertRate = float64(alerted) / float64(cfg.Samples)
 	est.MeanMinSeparation = sep.Mean()
 	est.MeanAlerts = alerts.Mean()
+	est.MeanInverseSeparation = invSep.Mean()
 	return est, nil
 }
 

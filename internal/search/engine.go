@@ -1,0 +1,406 @@
+package search
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"acasxval/internal/core"
+	"acasxval/internal/encounter"
+	"acasxval/internal/ga"
+	"acasxval/internal/montecarlo"
+	"acasxval/internal/stats"
+)
+
+// Seed salts decorrelating the engine's derived random streams: island
+// population initialization and per-generation breeding draw from different
+// streams than the per-individual evaluation seeds.
+const (
+	initSalt  = 0x15A1D5EEDB00
+	breedSalt = 0xB1EEDCAFE0
+)
+
+// IslandStats is one island's per-generation progress report.
+type IslandStats struct {
+	// Island identifies the reporting island.
+	Island int
+	// Stats are the island's generation statistics.
+	Stats ga.GenerationStats
+}
+
+// Observer receives per-generation progress, islands in order. It runs on
+// the coordinator goroutine between generations; keep it fast.
+type Observer func(IslandStats)
+
+// Options control one Run invocation (everything that is not part of the
+// reproducible search definition).
+type Options struct {
+	// CheckpointPath, when non-empty, is where the engine writes its
+	// state after every completed generation (atomically: temp file +
+	// rename).
+	CheckpointPath string
+	// Resume loads CheckpointPath and continues the search from it
+	// instead of initializing fresh populations. The checkpoint must have
+	// been written by a run of the same spec.
+	Resume bool
+	// StopAfter, when positive, halts the run once that many generations
+	// have completed (and, if CheckpointPath is set, checkpointed). It
+	// simulates a killed run for resume tests and lets callers slice a
+	// long search into sessions.
+	StopAfter int
+	// Observer receives per-generation progress (may be nil).
+	Observer Observer
+}
+
+// Best is the fittest encounter a search found.
+type Best struct {
+	Params   encounter.Params
+	Fitness  float64
+	Geometry encounter.Geometry
+	// Island and Generation locate the discovery.
+	Island     int
+	Generation int
+}
+
+// Result is the outcome of an island search.
+type Result struct {
+	// Best is the fittest encounter found across all islands.
+	Best Best
+	// Islands holds each island's per-generation statistics.
+	Islands [][]ga.GenerationStats
+	// Archive is the deduplicated danger archive accumulated by the run
+	// (including archived encounters restored from a checkpoint).
+	Archive *Archive
+	// NumEvaluations counts encounter evaluations (each costing
+	// Fitness.SimsPerEncounter simulations), including those performed
+	// before a checkpoint the run resumed from.
+	NumEvaluations int
+	// GenerationsRun is how many generations have completed in total.
+	GenerationsRun int
+	// Resumed reports whether the run continued from a checkpoint.
+	Resumed bool
+	// Stopped reports whether Options.StopAfter halted the run before the
+	// generation budget was exhausted.
+	Stopped bool
+	// Elapsed is this invocation's wall-clock time.
+	Elapsed time.Duration
+}
+
+// island is one concurrently evolving population.
+type island struct {
+	id      int
+	seed    uint64
+	pop     ga.Population
+	history []ga.GenerationStats
+	scratch montecarlo.Scratch
+}
+
+// engine holds the mutable search state between generations.
+type engine struct {
+	spec    Spec
+	bounds  ga.Bounds
+	islands []*island
+	archive *Archive
+	nextGen int
+	evals   int
+}
+
+// Run executes the island-model search. With opts.Resume it continues from
+// opts.CheckpointPath; otherwise it initializes fresh populations (injecting
+// spec.SeedGenomes round-robin when present). The search is deterministic:
+// identical (spec, resume point) produce identical results and archives,
+// regardless of island scheduling.
+func Run(spec Spec, factory core.SystemFactory, opts Options) (*Result, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if factory == nil {
+		return nil, fmt.Errorf("search: nil system factory")
+	}
+	lo, hi := spec.Ranges.Bounds()
+	bounds, err := ga.NewBounds(lo, hi)
+	if err != nil {
+		return nil, err
+	}
+	e := &engine{spec: spec, bounds: bounds}
+	e.archive = NewArchive(spec.ArchiveThreshold, spec.ArchiveMinDistance, bounds)
+
+	start := time.Now()
+	resumed := false
+	if opts.Resume {
+		if opts.CheckpointPath == "" {
+			return nil, fmt.Errorf("search: resume requested without a checkpoint path")
+		}
+		cp, err := LoadCheckpointFile(opts.CheckpointPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := e.restore(cp); err != nil {
+			return nil, err
+		}
+		resumed = true
+	} else {
+		e.initialize()
+	}
+
+	// The stop condition is checked before each step, so resuming at or
+	// past the requested stop point halts without evaluating another
+	// generation.
+	stopped := false
+	for gen := e.nextGen; gen < spec.GA.Generations; gen++ {
+		if opts.StopAfter > 0 && gen >= opts.StopAfter {
+			stopped = true
+			break
+		}
+		if err := e.step(gen, factory, opts); err != nil {
+			return nil, err
+		}
+	}
+
+	res := &Result{
+		Islands:        make([][]ga.GenerationStats, len(e.islands)),
+		Archive:        e.archive,
+		NumEvaluations: e.evals,
+		GenerationsRun: e.nextGen,
+		Resumed:        resumed,
+		Stopped:        stopped,
+		Elapsed:        time.Since(start),
+	}
+	for i, isl := range e.islands {
+		res.Islands[i] = isl.history
+	}
+	if err := res.findBest(spec); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// initialize builds the generation-0 populations: uniform random genomes
+// from each island's derived stream, with spec.SeedGenomes (worst sweep
+// cells) injected round-robin into the leading slots.
+func (e *engine) initialize() {
+	n := e.spec.Islands
+	e.islands = make([]*island, n)
+	for i := 0; i < n; i++ {
+		// Island seeds derive exactly like campaign cell seeds: one
+		// DeriveSeed per unit index under the run seed.
+		isl := &island{id: i, seed: stats.DeriveSeed(e.spec.Seed, i)}
+		rng := stats.NewRNG(isl.seed ^ initSalt)
+		isl.pop = make(ga.Population, e.spec.GA.PopulationSize)
+		for j := range isl.pop {
+			isl.pop[j] = ga.Individual{Genome: e.bounds.Random(rng)}
+		}
+		e.islands[i] = isl
+	}
+	for j, g := range e.spec.SeedGenomes {
+		isl := e.islands[j%n]
+		slot := j / n
+		if slot >= len(isl.pop) {
+			break
+		}
+		genome := append([]float64(nil), g...)
+		e.bounds.Clamp(genome)
+		isl.pop[slot] = ga.Individual{Genome: genome}
+	}
+	e.nextGen = 0
+}
+
+// step runs one lockstep generation: parallel island evaluation, a
+// deterministic barrier (stats, archive, observer), then — unless this was
+// the final generation — ring migration, breeding, and checkpointing.
+func (e *engine) step(gen int, factory core.SystemFactory, opts Options) error {
+	n := len(e.islands)
+	errs := make([]error, n)
+	// Archive candidates are collected per island during the parallel
+	// phase and merged in island order at the barrier.
+	cands := make([][]ArchiveEntry, n)
+	counts := make([]int, n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(isl *island) {
+			defer wg.Done()
+			cands[isl.id], counts[isl.id], errs[isl.id] = e.evaluateIsland(isl, gen, factory)
+		}(e.islands[i])
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+
+	// Barrier: merge island results in island order so the archive, the
+	// statistics and the observer stream are deterministic regardless of
+	// goroutine scheduling.
+	for _, isl := range e.islands {
+		gs := ga.Summarize(isl.pop, gen)
+		isl.history = append(isl.history, gs)
+		for _, entry := range cands[isl.id] {
+			e.archive.Add(entry)
+		}
+		e.evals += counts[isl.id]
+		if opts.Observer != nil {
+			opts.Observer(IslandStats{Island: isl.id, Stats: gs})
+		}
+	}
+	e.nextGen = gen + 1
+	if e.nextGen < e.spec.GA.Generations {
+		if n > 1 && e.spec.MigrationSize > 0 && e.nextGen%e.spec.MigrationInterval == 0 {
+			e.migrate()
+		}
+		gaParams := e.spec.GA
+		for _, isl := range e.islands {
+			isl.pop = ga.Breed(isl.pop, e.bounds, gaParams, stats.NewChildRNG(isl.seed^breedSalt, gen))
+		}
+	}
+	// The final generation checkpoints too (with NextGeneration equal to
+	// the budget), so resuming a completed search returns its result
+	// without re-evaluating anything.
+	if opts.CheckpointPath != "" {
+		if err := SaveCheckpointFile(opts.CheckpointPath, e.snapshot()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// evaluateIsland scores the island's unevaluated individuals serially (the
+// island goroutine is the unit of parallelism), collecting archive
+// candidates in index order. Per-individual seeds depend only on (island
+// seed, generation, index), so results are independent of scheduling.
+func (e *engine) evaluateIsland(isl *island, gen int, factory core.SystemFactory) ([]ArchiveEntry, int, error) {
+	var cands []ArchiveEntry
+	evals := 0
+	popSize := e.spec.GA.PopulationSize
+	for i := range isl.pop {
+		if isl.pop[i].Evaluated {
+			continue
+		}
+		evals++
+		seed := stats.DeriveSeed(isl.seed, gen*popSize+i)
+		p, err := encounter.FromVector(isl.pop[i].Genome)
+		if err != nil {
+			// A corrupt genome scores zero instead of halting a long
+			// search (mirrors core.Evaluator.Evaluate).
+			isl.pop[i].Fitness = 0
+			isl.pop[i].Evaluated = true
+			continue
+		}
+		p = e.spec.Ranges.Clamp(p)
+		fitness, est, err := evaluateEncounter(p, seed, e.spec.Fitness, factory, &isl.scratch)
+		if err != nil {
+			return nil, 0, err
+		}
+		isl.pop[i].Fitness = fitness
+		isl.pop[i].Evaluated = true
+		if fitness >= e.spec.ArchiveThreshold {
+			cands = append(cands, ArchiveEntry{
+				Fitness:    fitness,
+				PNMAC:      est.PNMAC,
+				MeanMinSep: est.MeanMinSeparation,
+				Geometry:   encounter.Classify(p).Category.String(),
+				Island:     isl.id,
+				Generation: gen,
+				Index:      i,
+				Params:     p.Vector(),
+			})
+		}
+	}
+	return cands, evals, nil
+}
+
+// evaluateEncounter scores one encounter through the Monte-Carlo harness:
+// the genome's fixed scenario replayed SimsPerEncounter times with
+// seed-derived stochastic dynamics and sensor noise, scored by the paper's
+// fitness = gain * mean(1 / (1 + d_k)).
+func evaluateEncounter(p encounter.Params, seed uint64, fit core.FitnessConfig, factory core.SystemFactory, scratch *montecarlo.Scratch) (float64, *montecarlo.Estimate, error) {
+	cfg := montecarlo.Config{
+		Samples: fit.SimsPerEncounter,
+		Run:     fit.Run,
+		Seed:    seed,
+		// The island pool already owns the parallelism; each evaluation
+		// stays single-threaded on its island goroutine.
+		Parallelism: 1,
+	}
+	est, err := montecarlo.EvaluateWithScratch(montecarlo.PointModel(p), montecarlo.SystemFactory(factory), cfg, scratch)
+	if err != nil {
+		return 0, nil, err
+	}
+	fitness := fit.CollisionGain * est.MeanInverseSeparation
+	if !stats.AllFinite(fitness) {
+		fitness = 0
+	}
+	return fitness, est, nil
+}
+
+// migrate clones each island's best MigrationSize individuals onto its ring
+// successor, replacing the successor's worst individuals. Donors are
+// computed from the pre-migration populations so migration order cannot
+// cascade around the ring.
+func (e *engine) migrate() {
+	n := len(e.islands)
+	m := e.spec.MigrationSize
+	donors := make([][]ga.Individual, n)
+	for i, isl := range e.islands {
+		best := rankedIndices(isl.pop, false)
+		donors[i] = make([]ga.Individual, 0, m)
+		for _, idx := range best[:m] {
+			donors[i] = append(donors[i], isl.pop[idx].Clone())
+		}
+	}
+	for i := range e.islands {
+		dst := e.islands[(i+1)%n]
+		worst := rankedIndices(dst.pop, true)
+		for k, ind := range donors[i] {
+			dst.pop[worst[k]] = ind
+		}
+	}
+}
+
+// rankedIndices returns population indices ordered by fitness (descending
+// for best-first, ascending for worst-first), with the original index as a
+// deterministic tie-break.
+func rankedIndices(pop ga.Population, worstFirst bool) []int {
+	idx := make([]int, len(pop))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		fa, fb := pop[idx[a]].Fitness, pop[idx[b]].Fitness
+		if worstFirst {
+			return fa < fb
+		}
+		return fa > fb
+	})
+	return idx
+}
+
+// findBest scans the per-generation records for the fittest individual.
+func (r *Result) findBest(spec Spec) error {
+	found := false
+	for i, history := range r.Islands {
+		for _, gs := range history {
+			if gs.Best.Genome == nil {
+				continue
+			}
+			if !found || gs.Best.Fitness > r.Best.Fitness {
+				p, err := encounter.FromVector(gs.Best.Genome)
+				if err != nil {
+					return fmt.Errorf("search: best genome corrupt: %w", err)
+				}
+				p = spec.Ranges.Clamp(p)
+				r.Best = Best{
+					Params:     p,
+					Fitness:    gs.Best.Fitness,
+					Geometry:   encounter.Classify(p),
+					Island:     i,
+					Generation: gs.Generation,
+				}
+				found = true
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,78 @@
+package search
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"acasxval/internal/campaign"
+	"acasxval/internal/encounter"
+	"acasxval/internal/stats"
+)
+
+// SweepSeeds extracts seed genomes from a campaign sweep's JSONL output:
+// the cells are ranked worst-first (highest P(NMAC), then lowest mean
+// minimum separation, then cell index) and their encounter parameter
+// vectors returned, deduplicated exactly. limit caps the number of seeds
+// (<= 0 means all). Cells written by pre-params sweeps (no "params" field)
+// are skipped; a stream with no usable cells is an error.
+//
+// This closes the campaign -> search loop: a sweep's worst scenarios become
+// the adversarial search's starting population instead of random genomes.
+func SweepSeeds(r io.Reader, limit int) ([][]float64, error) {
+	var cells []campaign.CellResult
+	err := readJSONL(r, "sweep", func(line int, data []byte) error {
+		var c campaign.CellResult
+		if err := json.Unmarshal(data, &c); err != nil {
+			return fmt.Errorf("search: sweep line %d: %w", line, err)
+		}
+		if len(c.Params) != encounter.NumParams || !stats.AllFinite(c.Params...) {
+			return nil
+		}
+		cells = append(cells, c)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(cells) == 0 {
+		return nil, fmt.Errorf("search: sweep stream has no cells with encounter parameters")
+	}
+	sort.SliceStable(cells, func(i, j int) bool {
+		a, b := cells[i], cells[j]
+		if a.PNMAC != b.PNMAC {
+			return a.PNMAC > b.PNMAC
+		}
+		if a.MeanMinSep != b.MeanMinSep {
+			return a.MeanMinSep < b.MeanMinSep
+		}
+		return a.Index < b.Index
+	})
+	var out [][]float64
+	seen := make(map[[encounter.NumParams]float64]bool, len(cells))
+	for _, c := range cells {
+		var key [encounter.NumParams]float64
+		copy(key[:], c.Params)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, append([]float64(nil), c.Params...))
+		if limit > 0 && len(out) >= limit {
+			break
+		}
+	}
+	return out, nil
+}
+
+// SweepSeedsFile reads SweepSeeds from a JSONL file on disk.
+func SweepSeedsFile(path string, limit int) ([][]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("search: %w", err)
+	}
+	defer f.Close()
+	return SweepSeeds(f, limit)
+}

@@ -6,6 +6,18 @@ import (
 	"sort"
 )
 
+// AllFinite reports whether every value is a finite number (no NaN, no
+// infinities) — the shared predicate behind the validation layers that
+// must keep non-finite values out of genomes, archives and checkpoints.
+func AllFinite(xs ...float64) bool {
+	for _, x := range xs {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return false
+		}
+	}
+	return true
+}
+
 // Accumulator collects streaming first and second moments using Welford's
 // numerically stable update, together with the extrema of the stream. The
 // zero value is an empty accumulator ready for use.

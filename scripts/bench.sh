@@ -41,7 +41,7 @@ run_bench() {
 # the reported shape metrics (NMAC rates, risk ratios, fitness) alongside
 # coarse timings.
 run_bench -run '^$' \
-  -bench '^(BenchmarkFig5HeadOn|BenchmarkFig6GASearch|BenchmarkFig7Fig8TailApproach|BenchmarkSectionIIIGrid2D|BenchmarkValueIterationFullTable|BenchmarkGAVersusRandomSearch|BenchmarkMonteCarloRiskRatio|BenchmarkCampaignSweep)$' \
+  -bench '^(BenchmarkFig5HeadOn|BenchmarkFig6GASearch|BenchmarkFig7Fig8TailApproach|BenchmarkSectionIIIGrid2D|BenchmarkValueIterationFullTable|BenchmarkGAVersusRandomSearch|BenchmarkMonteCarloRiskRatio|BenchmarkCampaignSweep|BenchmarkIslandSearch)$' \
   -benchtime "$BENCHTIME" -benchmem .
 
 # The online hot path needs real iteration counts for a stable ns/op, and
