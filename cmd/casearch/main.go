@@ -25,6 +25,7 @@
 //	         [-islands N] [-checkpoint state.json] [-resume]
 //	         [-seed-from-sweep results.jsonl] [-archive danger.jsonl]
 //	         [-migrate-every K] [-migrants M] [-threshold F] [-mindist D]
+//	         [-episode-workers W]
 //
 // -islands 0 (the default) takes the island count from -params'
 // search.islands key (1 when no file is given), so a spec file declaring
@@ -79,6 +80,7 @@ func run() error {
 		migrants    = flag.Int("migrants", 0, "island engine: elites migrated to the ring successor (0 = spec default)")
 		threshold   = flag.Float64("threshold", -1, "island engine: archive fitness threshold (-1 = spec default)")
 		minDist     = flag.Float64("mindist", -1, "island engine: archive dedup distance in [0, 1] (-1 = spec default)")
+		epWorkers   = flag.Int("episode-workers", 0, "island engine: parallel episode workers per fitness evaluation (0 = NumCPU/islands; results are identical for any count)")
 	)
 	flag.Parse()
 
@@ -99,6 +101,9 @@ func run() error {
 	}
 	if set["mindist"] && (*minDist < 0 || *minDist > 1) {
 		return fmt.Errorf("-mindist %v outside [0, 1]", *minDist)
+	}
+	if *epWorkers < 0 {
+		return fmt.Errorf("-episode-workers %d < 0", *epWorkers)
 	}
 	// The params file is loaded once here and shared by both paths.
 	var params *config.Params
@@ -140,7 +145,7 @@ func run() error {
 			params: params, paramsFile: *paramsFile, set: set, islands: islands,
 			checkpoint: *checkpoint, resume: *resume, seedSweep: *seedSweep,
 			archiveOut: *archiveOut, migEvery: *migEvery, migrants: *migrants,
-			threshold: *threshold, minDist: *minDist,
+			threshold: *threshold, minDist: *minDist, epWorkers: *epWorkers,
 		})
 	}
 	if err := rejectFlags("requires the island engine (-islands >= 2)", []flagUse{
@@ -152,6 +157,7 @@ func run() error {
 		{"migrants", set["migrants"]},
 		{"threshold", set["threshold"]},
 		{"mindist", set["mindist"]},
+		{"episode-workers", set["episode-workers"]},
 	}); err != nil {
 		return err
 	}
@@ -315,7 +321,7 @@ type islandArgs struct {
 	seed                              uint64
 	checkpoint, seedSweep, archiveOut string
 	resume                            bool
-	migEvery, migrants                int
+	migEvery, migrants, epWorkers     int
 	threshold, minDist                float64
 }
 
@@ -384,6 +390,7 @@ func runIslands(a islandArgs) error {
 	res, err := search.Run(spec, sysFactory, search.Options{
 		CheckpointPath: a.checkpoint,
 		Resume:         a.resume,
+		EpisodeWorkers: a.epWorkers,
 		Observer: func(is search.IslandStats) {
 			if is.Stats.Generation != lastGen {
 				lastGen = is.Stats.Generation

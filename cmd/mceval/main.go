@@ -6,8 +6,12 @@
 //
 // Usage:
 //
-//	mceval [-samples 10000] [-seed 1] [-table table.acxt] [-coarse]
-//	       [-systems acasx,belief,svo,none]
+//	mceval [-samples 10000] [-seed 1] [-workers 0] [-table table.acxt]
+//	       [-coarse] [-systems acasx,belief,svo,none]
+//
+// Episodes fan out over -workers parallel simulation worlds (0 = NumCPU).
+// Every episode's random streams derive counter-style from (seed, episode
+// index), so the reported estimates are bit-identical for any worker count.
 package main
 
 import (
@@ -33,20 +37,28 @@ func run() error {
 	var (
 		samples   = flag.Int("samples", 10000, "sampled encounters per system")
 		seed      = flag.Uint64("seed", 1, "sampling seed")
+		workers   = flag.Int("workers", 0, "parallel episode workers (0 = NumCPU; the estimate is identical for any count)")
 		tablePath = flag.String("table", "", "logic table path (built on the fly when absent)")
 		coarse    = flag.Bool("coarse", false, "use the reduced-resolution table when building")
 		systems   = flag.String("systems", "acasx,svo,none", "comma-separated systems to evaluate: acasx, belief, svo, none")
 	)
 	flag.Parse()
 
+	if *workers < 0 {
+		return fmt.Errorf("-workers %d < 0", *workers)
+	}
 	model := montecarlo.DefaultEncounterModel()
 	cfg := montecarlo.DefaultConfig()
 	cfg.Samples = *samples
 	cfg.Seed = *seed
+	cfg.Parallelism = *workers
 
 	names := strings.Split(*systems, ",")
 	estimates := make(map[string]*montecarlo.Estimate, len(names))
 
+	// One scratch across all evaluated systems: the simulation worlds and
+	// outcome buffers re-wire per system instead of rebuilding.
+	var scratch montecarlo.Scratch
 	var table *acasx.Table
 	for _, name := range names {
 		name = strings.TrimSpace(name)
@@ -62,7 +74,7 @@ func run() error {
 			return err
 		}
 		fmt.Printf("evaluating %s over %d sampled encounters...\n", name, cfg.Samples)
-		est, err := montecarlo.Evaluate(model, factory, cfg)
+		est, err := montecarlo.EvaluateWithScratch(model, factory, cfg, &scratch)
 		if err != nil {
 			return err
 		}

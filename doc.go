@@ -40,6 +40,19 @@
 // — sweep -> search -> archive -> sweep. cmd/casearch drives the engine
 // with -islands N; examples/adversarial walks the loop end to end.
 //
+// Everything above bottoms out in one parallel, allocation-free episode
+// engine. Every episode's random streams derive counter-style from
+// (seed, episode index), so Monte-Carlo estimates are bit-identical for
+// any worker count: MonteCarloConfig.Parallelism bounds the episode
+// workers of one estimate (0 = NumCPU), SearchOptions.EpisodeWorkers fans
+// each fitness batch of the island search out over idle cores, and
+// RunCampaign spills leftover pool capacity into per-cell episode
+// parallelism when the cell grid is smaller than the hardware — all three
+// knobs trade wall-clock only, never results. Each worker reuses one
+// fully-wired simulation world across its episodes, so the steady state
+// allocates nothing per episode (CI gates on the shipped
+// BenchmarkEvaluateSteadyState staying at 0 allocs/op).
+//
 // Quick start:
 //
 //	table, _ := acasxval.BuildLogicTable(acasxval.DefaultTableConfig())

@@ -232,7 +232,10 @@ func DefaultEncounterModel() EncounterModel { return montecarlo.DefaultEncounter
 func DefaultMonteCarloConfig() MonteCarloConfig { return montecarlo.DefaultConfig() }
 
 // EstimateRisk runs a Monte-Carlo risk estimation of one system
-// configuration against the encounter model.
+// configuration against the encounter model. Episodes fan out over
+// cfg.Parallelism reusable simulation worlds (0 = NumCPU); every episode's
+// random streams derive counter-style from (cfg.Seed, episode index), so
+// the estimate is bit-identical for any worker count.
 func EstimateRisk(model EncounterModel, factory SystemFactory, cfg MonteCarloConfig) (*RiskEstimate, error) {
 	return montecarlo.Evaluate(model, montecarlo.SystemFactory(factory), cfg)
 }
@@ -256,10 +259,12 @@ func LoadCampaignSpec(path string) (CampaignSpec, error) { return campaign.Load(
 func DefaultCampaignSystems(table *Table) CampaignSystems { return campaign.DefaultSystems(table) }
 
 // RunCampaign executes a validation campaign: the scenario x system x
-// variant cross-product fans out over a deterministic worker pool, each
-// cell streams one JSON record to jsonl (may be nil), and the result ranks
-// systems by risk ratio against the unequipped baseline. Output is
-// byte-identical across runs with the same spec.
+// variant cross-product fans out over a deterministic worker pool (when
+// the grid is smaller than the pool, the leftover cores run each cell's
+// episodes in parallel instead of idling), each cell streams one JSON
+// record to jsonl (may be nil), and the result ranks systems by risk ratio
+// against the unequipped baseline. Output is byte-identical across runs
+// with the same spec, regardless of how the work was scheduled.
 func RunCampaign(spec CampaignSpec, systems CampaignSystems, jsonl io.Writer) (*CampaignResult, error) {
 	return campaign.Run(spec, systems, jsonl)
 }
@@ -274,10 +279,11 @@ func LoadSearchSpec(path string) (SearchSpec, error) { return search.Load(path) 
 
 // RunSearch executes the island-model adversarial search: N islands evolve
 // concurrently with ring migration, every evaluation runs through the
-// Monte-Carlo harness, dangerous encounters accumulate in the result's
-// deduplicated archive, and — when opts.CheckpointPath is set — the state
-// checkpoints after every generation so a killed run resumes bit-identically
-// (opts.Resume).
+// Monte-Carlo harness (fanning its episodes over opts.EpisodeWorkers
+// workers without affecting a single result byte), dangerous encounters
+// accumulate in the result's deduplicated archive, and — when
+// opts.CheckpointPath is set — the state checkpoints after every generation
+// so a killed run resumes bit-identically (opts.Resume).
 func RunSearch(spec SearchSpec, factory SystemFactory, opts SearchOptions) (*IslandSearchResult, error) {
 	return search.Run(spec, core.SystemFactory(factory), opts)
 }

@@ -111,14 +111,23 @@ func (t *Table) WriteTo(w io.Writer) (int64, error) {
 	if err := put(uint32(t.stateSize() * NumAdvisories)); err != nil {
 		return written, err
 	}
-	buf := make([]byte, 8)
+	// Bulk-encode each Q slice into one buffer and issue a single Write
+	// per slice: one 8-byte write per float64 costs an order of magnitude
+	// more in writer and CRC bookkeeping than the encoding itself.
+	var buf []byte
 	for _, slice := range t.q {
-		for _, v := range slice {
-			binary.LittleEndian.PutUint64(buf, math.Float64bits(v))
-			if _, err := cw.Write(buf); err != nil {
-				return written, err
-			}
-			written += 8
+		if need := 8 * len(slice); cap(buf) < need {
+			buf = make([]byte, need)
+		} else {
+			buf = buf[:need]
+		}
+		for i, v := range slice {
+			binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(v))
+		}
+		n, err := cw.Write(buf)
+		written += int64(n)
+		if err != nil {
+			return written, err
 		}
 	}
 	// Trailing CRC of everything written so far (not CRC'd itself).

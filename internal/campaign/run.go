@@ -225,12 +225,28 @@ func Run(spec Spec, systems SystemSet, jsonl io.Writer) (*Result, error) {
 	// Clamp the pool to the hardware the same way BuildTable does: each
 	// cell is CPU-bound, so oversubscribing beyond NumCPU only adds
 	// scheduler churn.
-	workers := spec.Parallelism
-	if workers < 1 || workers > runtime.NumCPU() {
-		workers = runtime.NumCPU()
+	pool := spec.Parallelism
+	if pool < 1 || pool > runtime.NumCPU() {
+		pool = runtime.NumCPU()
 	}
-	if workers > len(cells) {
+	// When the cell grid cannot fill the pool, spill the leftover
+	// parallelism into the cells themselves: each cell's evaluator fans its
+	// episodes across the otherwise-idle cores, with the division remainder
+	// handed out one extra worker per leading cell so no core idles.
+	// Estimates are worker-count invariant, so the spill changes wall-clock
+	// only — every result and JSONL byte stays identical.
+	workers := pool
+	episodeWorkers, extraWorkerCells := 1, 0
+	if len(cells) > 0 && workers > len(cells) {
 		workers = len(cells)
+		episodeWorkers = pool / workers
+		extraWorkerCells = pool % workers
+	}
+	cellEpisodeWorkers := func(i int) int {
+		if i < extraWorkerCells {
+			return episodeWorkers + 1
+		}
+		return episodeWorkers
 	}
 
 	// Fan the cells out; stream completed results in index order so the
@@ -249,7 +265,7 @@ func Run(spec Spec, systems SystemSet, jsonl io.Writer) (*Result, error) {
 			var scratch montecarlo.Scratch
 			for i := range idxCh {
 				c := cells[i]
-				est, err := runCell(spec, c, systems[c.system], &scratch)
+				est, err := runCell(spec, c, systems[c.system], cellEpisodeWorkers(i), &scratch)
 				if err != nil {
 					errs[i] = err
 				} else {
@@ -350,15 +366,15 @@ func cellSeed(seed uint64, c cell) uint64 {
 
 // runCell evaluates one cell: the fixed scenario replayed Samples times
 // with seed-derived stochastic dynamics and sensor noise. scratch is the
-// owning worker's reusable buffer set.
-func runCell(spec Spec, c cell, factory montecarlo.SystemFactory, scratch *montecarlo.Scratch) (*montecarlo.Estimate, error) {
+// owning worker's reusable world set; episodeWorkers is the per-cell
+// episode parallelism (1 when the cell pool already saturates the CPUs,
+// more when a small grid leaves cores idle).
+func runCell(spec Spec, c cell, factory montecarlo.SystemFactory, episodeWorkers int, scratch *montecarlo.Scratch) (*montecarlo.Estimate, error) {
 	cfg := montecarlo.Config{
-		Samples: c.variant.samples(spec.Samples),
-		Run:     c.variant.apply(spec.Run),
-		Seed:    cellSeed(spec.Seed, c),
-		// The campaign pool already saturates the CPUs; keep each cell
-		// single-threaded to avoid oversubscription.
-		Parallelism: 1,
+		Samples:     c.variant.samples(spec.Samples),
+		Run:         c.variant.apply(spec.Run),
+		Seed:        cellSeed(spec.Seed, c),
+		Parallelism: episodeWorkers,
 	}
 	return montecarlo.EvaluateWithScratch(montecarlo.PointModel(c.params), factory, cfg, scratch)
 }

@@ -18,6 +18,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"acasxval/internal/encounter"
 	"acasxval/internal/ga"
@@ -91,11 +92,17 @@ func (o EncounterOutcome) NMACRate() float64 {
 
 // Evaluator computes the paper's fitness for encounter genomes. It
 // implements ga.Evaluator and is safe for concurrent use (each evaluation
-// creates its own systems via the factory).
+// creates its own systems via the factory and borrows a reusable
+// simulation world from an internal pool).
 type Evaluator struct {
 	ranges  encounter.Ranges
 	factory SystemFactory
 	cfg     FitnessConfig
+	// runners pools reusable simulation worlds so the K simulations of an
+	// encounter — and successive encounters — run allocation-free. Runner
+	// state is fully reset per run, so pooling cannot leak one episode
+	// into the next.
+	runners sync.Pool
 }
 
 var _ ga.Evaluator = (*Evaluator)(nil)
@@ -118,13 +125,22 @@ func NewEvaluator(ranges encounter.Ranges, factory SystemFactory, cfg FitnessCon
 // aggregates the outcome. Run k uses a seed derived from seed and k, so an
 // encounter's evaluation is reproducible.
 func (e *Evaluator) EvaluateEncounter(p encounter.Params, seed uint64) (EncounterOutcome, error) {
+	runner, _ := e.runners.Get().(*sim.Runner)
+	if runner == nil {
+		r, err := sim.NewRunner(e.cfg.Run)
+		if err != nil {
+			return EncounterOutcome{}, err
+		}
+		runner = r
+	}
+	defer e.runners.Put(runner)
 	own, intr := e.factory()
 	out := EncounterOutcome{Runs: e.cfg.SimsPerEncounter}
 	var sep stats.Accumulator
 	total := 0.0
 	alerted := 0
 	for k := 0; k < e.cfg.SimsPerEncounter; k++ {
-		res, err := sim.RunEncounter(p, own, intr, e.cfg.Run, stats.DeriveSeed(seed, k))
+		res, err := runner.Run(p, own, intr, stats.DeriveSeed(seed, k))
 		if err != nil {
 			return EncounterOutcome{}, err
 		}

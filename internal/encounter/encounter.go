@@ -207,14 +207,20 @@ func (r Ranges) Sample(rng *rand.Rand) Params {
 	}
 }
 
-// Clamp limits every parameter of p into the ranges.
+// Clamp limits every parameter of p into the ranges. Field-wise (rather
+// than via Vector round-trip) so the per-episode sampling hot path does not
+// allocate.
 func (r Ranges) Clamp(p Params) Params {
-	v := p.Vector()
-	for i, rg := range r.all() {
-		v[i] = rg.Clamp(v[i])
-	}
-	out, _ := FromVector(v)
-	return out
+	p.OwnGroundSpeed = r.OwnGroundSpeed.Clamp(p.OwnGroundSpeed)
+	p.OwnVerticalSpeed = r.OwnVerticalSpeed.Clamp(p.OwnVerticalSpeed)
+	p.TimeToCPA = r.TimeToCPA.Clamp(p.TimeToCPA)
+	p.HorizontalMissDistance = r.HorizontalMissDistance.Clamp(p.HorizontalMissDistance)
+	p.ApproachAngle = r.ApproachAngle.Clamp(p.ApproachAngle)
+	p.VerticalMissDistance = r.VerticalMissDistance.Clamp(p.VerticalMissDistance)
+	p.IntruderGroundSpeed = r.IntruderGroundSpeed.Clamp(p.IntruderGroundSpeed)
+	p.IntruderBearing = r.IntruderBearing.Clamp(p.IntruderBearing)
+	p.IntruderVerticalSpeed = r.IntruderVerticalSpeed.Clamp(p.IntruderVerticalSpeed)
+	return p
 }
 
 // OwnInitialState is the fixed own-ship starting state. The paper fixes the

@@ -65,6 +65,21 @@ func (v Vec3) HorizontalDistanceTo(o Vec3) float64 { return v.Sub(o).HorizontalN
 // VerticalDistanceTo returns |v.Z - o.Z|.
 func (v Vec3) VerticalDistanceTo(o Vec3) float64 { return math.Abs(v.Z - o.Z) }
 
+// DistanceSquaredTo returns the squared 3-D distance to o. Distance
+// comparisons on hot paths (the simulation monitors observe every
+// sub-step) rank candidates by squared distance and take one square root
+// at the end instead of one per observation.
+func (v Vec3) DistanceSquaredTo(o Vec3) float64 {
+	dx, dy, dz := v.X-o.X, v.Y-o.Y, v.Z-o.Z
+	return dx*dx + dy*dy + dz*dz
+}
+
+// HorizontalDistanceSquaredTo returns the squared horizontal distance to o.
+func (v Vec3) HorizontalDistanceSquaredTo(o Vec3) float64 {
+	dx, dy := v.X-o.X, v.Y-o.Y
+	return dx*dx + dy*dy
+}
+
 // Lerp linearly interpolates between v (t=0) and o (t=1).
 func (v Vec3) Lerp(o Vec3, t float64) Vec3 { return v.Add(o.Sub(v).Scale(t)) }
 

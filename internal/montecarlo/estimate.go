@@ -4,13 +4,19 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
+	"acasxval/internal/encounter"
 	"acasxval/internal/sim"
 	"acasxval/internal/stats"
 )
 
-// SystemFactory builds fresh collision avoidance systems for one simulated
-// encounter; called once per simulation, possibly concurrently.
+// SystemFactory builds fresh collision avoidance systems for an
+// evaluation. The evaluator calls the factory once per worker (possibly
+// concurrently) and reuses the returned pair across every episode that
+// worker runs, Reset before each one — so a System's Reset must restore
+// the complete pre-encounter state, or episodes would leak into each other
+// and break the evaluator's worker-count invariance.
 type SystemFactory func() (own, intruder sim.System)
 
 // Unequipped is the no-avoidance baseline factory.
@@ -89,13 +95,15 @@ type outcome struct {
 	err     error
 }
 
-// Scratch holds reusable evaluation buffers. A caller running many
-// evaluations back to back (the campaign engine runs one per cell) can hold
-// one Scratch per worker and avoid re-allocating the per-sample outcome
-// buffer every call. A Scratch must not be shared between concurrent
+// Scratch holds reusable evaluation state. A caller running many
+// evaluations back to back (the campaign engine runs one per cell, the
+// island search one per genome) can hold one Scratch per worker and avoid
+// re-allocating the per-sample outcome buffer and the per-worker simulation
+// worlds every call. A Scratch must not be shared between concurrent
 // Evaluate calls; the zero value is ready to use.
 type Scratch struct {
 	outcomes []outcome
+	worlds   []*world
 }
 
 // grow returns a zeroed outcome buffer of length n backed by the scratch's
@@ -109,17 +117,89 @@ func (s *Scratch) grow(n int) []outcome {
 	return s.outcomes
 }
 
+// world returns the i-th per-worker simulation world, growing the pool as
+// needed. Worlds persist across Evaluate calls so the campaign and search
+// steady states re-wire rather than rebuild them.
+func (s *Scratch) world(i int) *world {
+	for len(s.worlds) <= i {
+		s.worlds = append(s.worlds, &world{})
+	}
+	return s.worlds[i]
+}
+
+// dynamicsSalt decorrelates an episode's simulation (dynamics + sensor)
+// seed from its encounter-sampling seed.
+const dynamicsSalt = 0xABCD
+
+// world is one worker's fully-wired, reusable episode engine: a simulation
+// runner (two aircraft, trackers, monitors, clock, RNG streams), the
+// system pair under test, a reseedable encounter-sampling RNG and the
+// parameter draw buffer. Once prepared, simulating an episode performs no
+// allocation.
+type world struct {
+	runner *sim.Runner
+	own    sim.System
+	intr   sim.System
+	rng    stats.ReseedableRNG
+	buf    [encounter.NumParams]float64
+}
+
+// prepare (re)wires the world for one Evaluate call. The runner is rebuilt
+// only when the run configuration changed; the systems are always taken
+// fresh from the factory, since factories may close over per-call state.
+func (w *world) prepare(run sim.RunConfig, factory SystemFactory) error {
+	if w.runner == nil {
+		r, err := sim.NewRunner(run)
+		if err != nil {
+			return err
+		}
+		w.runner = r
+	} else if err := w.runner.Reconfigure(run); err != nil {
+		return err
+	}
+	w.own, w.intr = factory()
+	return nil
+}
+
+// simulate runs episode i: sample the encounter and simulate it, both from
+// RNG streams derived counter-style from (cfg.Seed, i) — fully reproducible
+// and independent of which worker runs which episode.
+func (w *world) simulate(model *EncounterModel, cfg *Config, i int, out []outcome) {
+	rng := w.rng.SeedChild(cfg.Seed, i)
+	p := model.SampleInto(rng, &w.buf)
+	res, err := w.runner.Run(p, w.own, w.intr, stats.DeriveSeed(cfg.Seed^dynamicsSalt, i))
+	if err != nil {
+		out[i] = outcome{err: err}
+		return
+	}
+	out[i] = outcome{
+		nmac:    res.NMAC,
+		alerted: res.Alerted(),
+		alerts:  res.OwnAlerts + res.IntruderAlerts,
+		minSep:  res.MinSeparation,
+	}
+}
+
 // Evaluate estimates event probabilities for one system configuration
-// against the encounter model. Simulations are distributed over a worker
-// pool; the result is deterministic for a given seed.
+// against the encounter model. Episodes are distributed over a worker pool;
+// the result is deterministic for a given seed and bit-identical for any
+// worker count.
 func Evaluate(model EncounterModel, factory SystemFactory, cfg Config) (*Estimate, error) {
 	return EvaluateWithScratch(model, factory, cfg, nil)
 }
 
-// EvaluateWithScratch is Evaluate with caller-owned buffer reuse: scratch
-// (may be nil) supplies the per-sample outcome buffer. The returned
-// estimate is identical to Evaluate's — sample seeds derive from
-// (cfg.Seed, index) regardless of scheduling.
+// episodeBatch is how many consecutive episodes a worker claims per
+// counter fetch: large enough to keep contention on the shared counter
+// negligible, small enough to balance uneven episode durations.
+const episodeBatch = 8
+
+// EvaluateWithScratch is Evaluate with caller-owned state reuse: scratch
+// (may be nil) supplies the per-sample outcome buffer and the per-worker
+// reusable simulation worlds, making the steady state allocation-free per
+// episode. The returned estimate is identical to Evaluate's: every
+// episode's RNG streams derive counter-style from (cfg.Seed, index), so the
+// estimate is bit-identical regardless of cfg.Parallelism and of which
+// worker runs which episode.
 func EvaluateWithScratch(model EncounterModel, factory SystemFactory, cfg Config, scratch *Scratch) (*Estimate, error) {
 	if err := model.Validate(); err != nil {
 		return nil, err
@@ -138,54 +218,62 @@ func EvaluateWithScratch(model EncounterModel, factory SystemFactory, cfg Config
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
-	if workers > cfg.Samples {
-		workers = cfg.Samples
+	// A worker beyond the batch count could never claim work; don't pay
+	// its world wiring and goroutine. (Results are worker-count invariant,
+	// so clamping is free.)
+	if maxUseful := (cfg.Samples + episodeBatch - 1) / episodeBatch; workers > maxUseful {
+		workers = maxUseful
 	}
 
 	if scratch == nil {
 		scratch = &Scratch{}
 	}
 	outcomes := scratch.grow(cfg.Samples)
-	simulate := func(i int) {
-		// Sample i's encounter and dynamics seeds both derive from
-		// (cfg.Seed, i): fully reproducible and order-independent.
-		rng := stats.NewChildRNG(cfg.Seed, i)
-		p := model.Sample(rng)
-		own, intr := factory()
-		res, err := sim.RunEncounter(p, own, intr, cfg.Run, stats.DeriveSeed(cfg.Seed^0xABCD, i))
-		if err != nil {
-			outcomes[i] = outcome{err: err}
-			return
-		}
-		outcomes[i] = outcome{
-			nmac:    res.NMAC,
-			alerted: res.Alerted(),
-			alerts:  res.OwnAlerts + res.IntruderAlerts,
-			minSep:  res.MinSeparation,
+	// Mixture cumulative weights are precomputed once per call, never per
+	// draw.
+	model = model.Prepared()
+	// Worlds are prepared serially up front: world growth must not race,
+	// and a mis-wired configuration should fail before any episode runs.
+	worlds := make([]*world, workers)
+	for i := range worlds {
+		worlds[i] = scratch.world(i)
+		if err := worlds[i].prepare(cfg.Run, factory); err != nil {
+			return nil, err
 		}
 	}
 	if workers <= 1 {
-		// Serial fast path: no goroutines or channel traffic. The campaign
-		// pool pins each cell to one worker, so this is its steady state.
+		// Serial fast path: no goroutines or counter traffic. The campaign
+		// pool pins saturated sweeps' cells to one worker each, so this is
+		// their steady state.
+		w := worlds[0]
 		for i := 0; i < cfg.Samples; i++ {
-			simulate(i)
+			w.simulate(&model, &cfg, i, outcomes)
 		}
 	} else {
+		// Episodes are claimed in batches off a shared atomic counter; the
+		// outcome slot index, not the claiming order, carries the episode's
+		// identity, so scheduling cannot perturb the estimate.
+		var next atomic.Int64
 		var wg sync.WaitGroup
-		idxCh := make(chan int)
 		wg.Add(workers)
-		for w := 0; w < workers; w++ {
-			go func() {
+		for _, w := range worlds {
+			go func(w *world) {
 				defer wg.Done()
-				for i := range idxCh {
-					simulate(i)
+				for {
+					start := int(next.Add(episodeBatch)) - episodeBatch
+					if start >= cfg.Samples {
+						return
+					}
+					end := start + episodeBatch
+					if end > cfg.Samples {
+						end = cfg.Samples
+					}
+					for i := start; i < end; i++ {
+						w.simulate(&model, &cfg, i, outcomes)
+					}
 				}
-			}()
+			}(w)
 		}
-		for i := 0; i < cfg.Samples; i++ {
-			idxCh <- i
-		}
-		close(idxCh)
 		wg.Wait()
 	}
 

@@ -100,24 +100,84 @@ func (c Constant) Sample(*rand.Rand) float64 { return c.Value }
 // Validate implements Distribution.
 func (Constant) Validate() error { return nil }
 
-// Mixture samples from one of its weighted components.
+// Mixture samples from one of its weighted components. Construct with
+// NewMixture (or call Prepared after hand-assembly) so the cumulative
+// weights are precomputed once: Sample sits on the per-episode draw path of
+// every Monte-Carlo evaluation and must not re-sum the weights each call.
 type Mixture struct {
 	Components []Distribution
 	Weights    []float64
+	// cum caches the running weight sums (cum[i] is the sum of
+	// Weights[:i+1]); stale if Weights is mutated after Prepared.
+	cum []float64
 }
 
 var _ Distribution = Mixture{}
 
-// Sample implements Distribution.
-func (m Mixture) Sample(rng *rand.Rand) float64 {
-	total := 0.0
-	for _, w := range m.Weights {
-		total += w
+// NewMixture validates the components and weights and returns a mixture
+// with its cumulative weights precomputed.
+func NewMixture(components []Distribution, weights []float64) (Mixture, error) {
+	m := Mixture{Components: components, Weights: weights}
+	if err := m.Validate(); err != nil {
+		return Mixture{}, err
 	}
-	u := rng.Float64() * total
+	return m.Prepared(), nil
+}
+
+// Prepared returns a copy of the mixture with cumulative weights
+// precomputed, recursively preparing nested mixtures. An already-prepared
+// mixture returns itself unchanged, so re-preparing (Evaluate prepares its
+// model on every call) is free.
+func (m Mixture) Prepared() Mixture {
+	if len(m.cum) == len(m.Weights) && len(m.Weights) > 0 {
+		return m
+	}
+	cum := make([]float64, len(m.Weights))
 	acc := 0.0
 	for i, w := range m.Weights {
 		acc += w
+		cum[i] = acc
+	}
+	comps := make([]Distribution, len(m.Components))
+	for i, c := range m.Components {
+		comps[i] = prepared(c)
+	}
+	m.cum = cum
+	m.Components = comps
+	return m
+}
+
+// prepared returns d with any mixture weight caches precomputed.
+func prepared(d Distribution) Distribution {
+	if m, ok := d.(Mixture); ok {
+		return m.Prepared()
+	}
+	return d
+}
+
+// Sample implements Distribution.
+func (m Mixture) Sample(rng *rand.Rand) float64 {
+	cum := m.cum
+	if len(cum) == 0 || len(cum) != len(m.Weights) {
+		// Hand-assembled mixture without Prepared: sum on the fly. The
+		// running sums are computed left to right exactly as Prepared
+		// caches them, so both paths pick identical components.
+		total := 0.0
+		for _, w := range m.Weights {
+			total += w
+		}
+		u := rng.Float64() * total
+		acc := 0.0
+		for i, w := range m.Weights {
+			acc += w
+			if u < acc {
+				return m.Components[i].Sample(rng)
+			}
+		}
+		return m.Components[len(m.Components)-1].Sample(rng)
+	}
+	u := rng.Float64() * cum[len(cum)-1]
+	for i, acc := range cum {
 		if u < acc {
 			return m.Components[i].Sample(rng)
 		}
@@ -177,7 +237,7 @@ func DefaultEncounterModel() EncounterModel {
 			TruncNormal{Mean: -3.5, Sigma: 1.5, Min: -7.5, Max: 0}, // descending
 		},
 		Weights: []float64{0.6, 0.2, 0.2},
-	}
+	}.Prepared()
 	return EncounterModel{
 		OwnGroundSpeed:         TruncNormal{Mean: 40, Sigma: 10, Min: 20, Max: 60},
 		OwnVerticalSpeed:       vsMix,
@@ -245,13 +305,45 @@ func (m EncounterModel) all() []Distribution {
 	}
 }
 
+// Prepared returns a copy of the model with every mixture's cumulative
+// weights precomputed, so per-episode draws never re-sum mixture weights.
+// Evaluate prepares its model once up front; callers sampling a model
+// directly in a loop should do the same.
+func (m EncounterModel) Prepared() EncounterModel {
+	m.OwnGroundSpeed = prepared(m.OwnGroundSpeed)
+	m.OwnVerticalSpeed = prepared(m.OwnVerticalSpeed)
+	m.TimeToCPA = prepared(m.TimeToCPA)
+	m.HorizontalMissDistance = prepared(m.HorizontalMissDistance)
+	m.ApproachAngle = prepared(m.ApproachAngle)
+	m.VerticalMissDistance = prepared(m.VerticalMissDistance)
+	m.IntruderGroundSpeed = prepared(m.IntruderGroundSpeed)
+	m.IntruderBearing = prepared(m.IntruderBearing)
+	m.IntruderVerticalSpeed = prepared(m.IntruderVerticalSpeed)
+	return m
+}
+
 // Sample draws one encounter from the model.
 func (m EncounterModel) Sample(rng *rand.Rand) encounter.Params {
-	ds := m.all()
-	v := make([]float64, len(ds))
-	for i, d := range ds {
-		v[i] = d.Sample(rng)
-	}
-	p, _ := encounter.FromVector(v)
+	var buf [encounter.NumParams]float64
+	return m.SampleInto(rng, &buf)
+}
+
+// SampleInto draws one encounter from the model, writing the nine raw
+// parameter draws into buf in genome order and returning the clamped
+// parameters. It is Sample without the per-draw slice allocation: the
+// evaluator's per-worker worlds each own one buffer and reuse it for every
+// episode. Pointer receiver so the (interface-valued) distribution fields
+// are not copied per draw.
+func (m *EncounterModel) SampleInto(rng *rand.Rand, buf *[encounter.NumParams]float64) encounter.Params {
+	buf[0] = m.OwnGroundSpeed.Sample(rng)
+	buf[1] = m.OwnVerticalSpeed.Sample(rng)
+	buf[2] = m.TimeToCPA.Sample(rng)
+	buf[3] = m.HorizontalMissDistance.Sample(rng)
+	buf[4] = m.ApproachAngle.Sample(rng)
+	buf[5] = m.VerticalMissDistance.Sample(rng)
+	buf[6] = m.IntruderGroundSpeed.Sample(rng)
+	buf[7] = m.IntruderBearing.Sample(rng)
+	buf[8] = m.IntruderVerticalSpeed.Sample(rng)
+	p, _ := encounter.FromVector(buf[:])
 	return m.Ranges.Clamp(p)
 }

@@ -2,6 +2,7 @@ package search
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -51,6 +52,14 @@ type Options struct {
 	StopAfter int
 	// Observer receives per-generation progress (may be nil).
 	Observer Observer
+	// EpisodeWorkers is the per-evaluation episode parallelism: each
+	// genome's Monte-Carlo batch fans its episodes over this many workers
+	// on top of the island-level parallelism (0 = NumCPU/Islands, at least
+	// 1). Estimates are worker-count invariant, so the knob changes
+	// wall-clock only — results, checkpoints and archives stay
+	// byte-identical for any value, which is why it lives in Options rather
+	// than the reproducible Spec.
+	EpisodeWorkers int
 }
 
 // Best is the fittest encounter a search found.
@@ -98,12 +107,13 @@ type island struct {
 
 // engine holds the mutable search state between generations.
 type engine struct {
-	spec    Spec
-	bounds  ga.Bounds
-	islands []*island
-	archive *Archive
-	nextGen int
-	evals   int
+	spec           Spec
+	bounds         ga.Bounds
+	islands        []*island
+	archive        *Archive
+	nextGen        int
+	evals          int
+	episodeWorkers int
 }
 
 // Run executes the island-model search. With opts.Resume it continues from
@@ -123,7 +133,17 @@ func Run(spec Spec, factory core.SystemFactory, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	e := &engine{spec: spec, bounds: bounds}
+	// The islands are the primary parallelism; when they cannot fill the
+	// hardware, each fitness evaluation additionally fans its episodes over
+	// the idle cores (worker-count invariant, so determinism is unaffected).
+	epw := opts.EpisodeWorkers
+	if epw <= 0 {
+		epw = runtime.NumCPU() / spec.Islands
+		if epw < 1 {
+			epw = 1
+		}
+	}
+	e := &engine{spec: spec, bounds: bounds, episodeWorkers: epw}
 	e.archive = NewArchive(spec.ArchiveThreshold, spec.ArchiveMinDistance, bounds)
 
 	start := time.Now()
@@ -266,10 +286,12 @@ func (e *engine) step(gen int, factory core.SystemFactory, opts Options) error {
 	return nil
 }
 
-// evaluateIsland scores the island's unevaluated individuals serially (the
-// island goroutine is the unit of parallelism), collecting archive
-// candidates in index order. Per-individual seeds depend only on (island
-// seed, generation, index), so results are independent of scheduling.
+// evaluateIsland scores the island's unevaluated individuals in index
+// order on the island goroutine, each score fanning its Monte-Carlo
+// episodes over the engine's episode workers; archive candidates collect
+// in index order. Per-individual seeds depend only on (island seed,
+// generation, index) and estimates are worker-count invariant, so results
+// are independent of scheduling at both levels.
 func (e *engine) evaluateIsland(isl *island, gen int, factory core.SystemFactory) ([]ArchiveEntry, int, error) {
 	var cands []ArchiveEntry
 	evals := 0
@@ -289,7 +311,7 @@ func (e *engine) evaluateIsland(isl *island, gen int, factory core.SystemFactory
 			continue
 		}
 		p = e.spec.Ranges.Clamp(p)
-		fitness, est, err := evaluateEncounter(p, seed, e.spec.Fitness, factory, &isl.scratch)
+		fitness, est, err := evaluateEncounter(p, seed, e.spec.Fitness, factory, e.episodeWorkers, &isl.scratch)
 		if err != nil {
 			return nil, 0, err
 		}
@@ -314,15 +336,14 @@ func (e *engine) evaluateIsland(isl *island, gen int, factory core.SystemFactory
 // evaluateEncounter scores one encounter through the Monte-Carlo harness:
 // the genome's fixed scenario replayed SimsPerEncounter times with
 // seed-derived stochastic dynamics and sensor noise, scored by the paper's
-// fitness = gain * mean(1 / (1 + d_k)).
-func evaluateEncounter(p encounter.Params, seed uint64, fit core.FitnessConfig, factory core.SystemFactory, scratch *montecarlo.Scratch) (float64, *montecarlo.Estimate, error) {
+// fitness = gain * mean(1 / (1 + d_k)). episodeWorkers is the per-batch
+// episode parallelism layered on top of the island goroutines.
+func evaluateEncounter(p encounter.Params, seed uint64, fit core.FitnessConfig, factory core.SystemFactory, episodeWorkers int, scratch *montecarlo.Scratch) (float64, *montecarlo.Estimate, error) {
 	cfg := montecarlo.Config{
-		Samples: fit.SimsPerEncounter,
-		Run:     fit.Run,
-		Seed:    seed,
-		// The island pool already owns the parallelism; each evaluation
-		// stays single-threaded on its island goroutine.
-		Parallelism: 1,
+		Samples:     fit.SimsPerEncounter,
+		Run:         fit.Run,
+		Seed:        seed,
+		Parallelism: episodeWorkers,
 	}
 	est, err := montecarlo.EvaluateWithScratch(montecarlo.PointModel(p), montecarlo.SystemFactory(factory), cfg, scratch)
 	if err != nil {

@@ -81,46 +81,63 @@ func (NoSystem) Reset() {}
 // minima are tracked independently (the minimum horizontal separation may
 // occur at a different instant than the minimum vertical separation), plus
 // the joint 3-D minimum used by the search fitness.
+//
+// The horizontal and 3-D minima are tracked in squared-distance space: the
+// measurer observes every monitor sub-step of every simulation, so ranking
+// candidates by squared distance and deferring the square root to the
+// accessors removes two square roots per observation from the episode hot
+// path. Min3D is bit-identical to the former per-observation form
+// (sqrt is monotone and Vec3.Norm uses the same sum order); MinHorizontal
+// may differ from the pre-squared-space releases in the last ULP, since it
+// now derives from Sqrt(dx*dx+dy*dy) rather than math.Hypot.
 type ProximityMeasurer struct {
-	minHorizontal float64
-	minVertical   float64
-	min3D         float64
-	at3D          float64 // time of the 3-D minimum
-	seen          bool
+	minHorizontalSq float64
+	minVertical     float64
+	min3DSq         float64
+	at3D            float64 // time of the 3-D minimum
+	seen            bool
 }
 
 // NewProximityMeasurer returns an empty measurer.
 func NewProximityMeasurer() *ProximityMeasurer {
-	return &ProximityMeasurer{
-		minHorizontal: math.Inf(1),
-		minVertical:   math.Inf(1),
-		min3D:         math.Inf(1),
-	}
+	p := &ProximityMeasurer{}
+	p.Reset()
+	return p
+}
+
+// Reset returns the measurer to its fresh-from-New state so one measurer
+// can monitor many encounters without reallocation.
+func (p *ProximityMeasurer) Reset() {
+	p.minHorizontalSq = math.Inf(1)
+	p.minVertical = math.Inf(1)
+	p.min3DSq = math.Inf(1)
+	p.at3D = 0
+	p.seen = false
 }
 
 // Observe feeds one pair of positions at time now.
 func (p *ProximityMeasurer) Observe(now float64, a, b geom.Vec3) {
 	p.seen = true
-	if d := a.HorizontalDistanceTo(b); d < p.minHorizontal {
-		p.minHorizontal = d
+	if d2 := a.HorizontalDistanceSquaredTo(b); d2 < p.minHorizontalSq {
+		p.minHorizontalSq = d2
 	}
 	if d := a.VerticalDistanceTo(b); d < p.minVertical {
 		p.minVertical = d
 	}
-	if d := a.DistanceTo(b); d < p.min3D {
-		p.min3D = d
+	if d2 := a.DistanceSquaredTo(b); d2 < p.min3DSq {
+		p.min3DSq = d2
 		p.at3D = now
 	}
 }
 
 // MinHorizontal returns the minimum horizontal separation observed.
-func (p *ProximityMeasurer) MinHorizontal() float64 { return p.minHorizontal }
+func (p *ProximityMeasurer) MinHorizontal() float64 { return math.Sqrt(p.minHorizontalSq) }
 
 // MinVertical returns the minimum vertical separation observed.
 func (p *ProximityMeasurer) MinVertical() float64 { return p.minVertical }
 
 // Min3D returns the minimum 3-D separation observed and its time.
-func (p *ProximityMeasurer) Min3D() (float64, float64) { return p.min3D, p.at3D }
+func (p *ProximityMeasurer) Min3D() (float64, float64) { return math.Sqrt(p.min3DSq), p.at3D }
 
 // Seen reports whether any observation was made.
 func (p *ProximityMeasurer) Seen() bool { return p.seen }
@@ -128,20 +145,30 @@ func (p *ProximityMeasurer) Seen() bool { return p.seen }
 // AccidentDetector detects near mid-air collisions: simultaneous horizontal
 // and vertical proximity inside the NMAC cylinder (500 ft / 100 ft) — the
 // paper's mid-air collision criterion (the same cylinder the MDP's
-// collision cost is attached to).
+// collision cost is attached to). The horizontal test runs in
+// squared-distance space for the same hot-path reason as the measurer.
 type AccidentDetector struct {
-	horizontalLimit float64
-	verticalLimit   float64
-	nmac            bool
-	nmacTime        float64
+	horizontalLimitSq float64
+	verticalLimit     float64
+	nmac              bool
+	nmacTime          float64
 }
 
 // NewAccidentDetector returns a detector with the standard NMAC cylinder.
 func NewAccidentDetector() *AccidentDetector {
-	return &AccidentDetector{
-		horizontalLimit: geom.NMACHorizontal,
-		verticalLimit:   geom.NMACVertical,
-	}
+	d := &AccidentDetector{}
+	d.Reset()
+	return d
+}
+
+// Reset clears any detected collision and (re)installs the standard NMAC
+// cylinder, so one detector — or a zero value — can monitor many encounters
+// without reallocation.
+func (d *AccidentDetector) Reset() {
+	d.horizontalLimitSq = geom.NMACHorizontal * geom.NMACHorizontal
+	d.verticalLimit = geom.NMACVertical
+	d.nmac = false
+	d.nmacTime = 0
 }
 
 // Observe feeds one pair of positions at time now.
@@ -149,7 +176,7 @@ func (d *AccidentDetector) Observe(now float64, a, b geom.Vec3) {
 	if d.nmac {
 		return
 	}
-	if a.HorizontalDistanceTo(b) < d.horizontalLimit && a.VerticalDistanceTo(b) < d.verticalLimit {
+	if a.HorizontalDistanceSquaredTo(b) < d.horizontalLimitSq && a.VerticalDistanceTo(b) < d.verticalLimit {
 		d.nmac = true
 		d.nmacTime = now
 	}
@@ -157,19 +184,6 @@ func (d *AccidentDetector) Observe(now float64, a, b geom.Vec3) {
 
 // NMAC reports whether a near mid-air collision was detected, and when.
 func (d *AccidentDetector) NMAC() (bool, float64) { return d.nmac, d.nmacTime }
-
-// sampleSeparationFine linearly interpolates both trajectories across a
-// step and feeds sub-sampled positions to the monitors so that fast
-// crossings are not stepped over.
-func sampleSeparationFine(t0, dt float64, aFrom, aTo, bFrom, bTo geom.Vec3, subSteps int, observe func(now float64, a, b geom.Vec3)) {
-	if subSteps < 1 {
-		subSteps = 1
-	}
-	for i := 1; i <= subSteps; i++ {
-		f := float64(i) / float64(subSteps)
-		observe(t0+f*dt, aFrom.Lerp(aTo, f), bFrom.Lerp(bTo, f))
-	}
-}
 
 // Clock tracks simulation time.
 type Clock struct {
@@ -197,9 +211,19 @@ func (c *Clock) Tick() float64 {
 	return c.now
 }
 
+// Reset rewinds the clock to zero, keeping its step.
+func (c *Clock) Reset() { c.now = 0 }
+
+// streamSeedWords returns the PCG state words of component stream i under
+// seed — the words Rand seeds a fresh generator with, exposed so the
+// reusable Runner can re-seed its generators to the identical streams.
+func streamSeedWords(seed uint64, i int) (uint64, uint64) {
+	return seed + uint64(i)*0x9E3779B97F4A7C15, seed ^ 0xD1B54A32D192ED03 + uint64(i)
+}
+
 // Rand derives a child RNG stream for component index i of a run seeded
 // with seed: every aircraft/sensor gets an independent deterministic
 // stream, so adding a consumer does not perturb the others.
 func Rand(seed uint64, i int) *rand.Rand {
-	return rand.New(rand.NewPCG(seed+uint64(i)*0x9E3779B97F4A7C15, seed^0xD1B54A32D192ED03+uint64(i)))
+	return rand.New(rand.NewPCG(streamSeedWords(seed, i)))
 }

@@ -6,6 +6,7 @@ import (
 
 	"acasxval/internal/encounter"
 	"acasxval/internal/geom"
+	"acasxval/internal/stats"
 	"acasxval/internal/tracker"
 	"acasxval/internal/uav"
 )
@@ -130,123 +131,213 @@ type Result struct {
 func (r Result) Alerted() bool { return r.OwnAlerts > 0 || r.IntruderAlerts > 0 }
 
 // aircraft bundles one simulated aircraft with its CAS and its view of the
-// peer.
+// peer. The vehicle and track filter are embedded by value so one aircraft
+// (inside a Runner) can be reset and reused across episodes without
+// allocating.
 type aircraft struct {
-	vehicle *uav.UAV
-	system  System
-	track   *tracker.Tracker
+	vehicle  uav.UAV
+	track    tracker.Tracker
+	hasTrack bool
+	system   System
 	// lastDecision caches the most recent decision for coordination.
 	lastDecision Decision
 	alerts       int
 	firstAlertAt float64
 }
 
-// RunEncounter simulates one encounter between two aircraft equipped with
-// the given collision avoidance systems (use NoSystem for an unequipped
-// aircraft). The run is deterministic for a given seed. Systems are Reset
-// before use.
-func RunEncounter(p encounter.Params, ownSys, intrSys System, cfg RunConfig, seed uint64) (Result, error) {
+// reset wires the aircraft for a fresh encounter: new initial state, new
+// (Reset) system, dropped track, cleared alert bookkeeping.
+func (a *aircraft) reset(system System, initial uav.State) {
+	a.vehicle.Reset(initial)
+	if a.hasTrack {
+		a.track.Reset()
+	}
+	a.system = system
+	system.Reset()
+	a.lastDecision = Decision{}
+	a.alerts = 0
+	a.firstAlertAt = -1
+}
+
+// Runner is a reusable simulation world for one RunConfig: two aircraft,
+// their track filters, the proximity and accident monitors, the clock and
+// four deterministic RNG streams, all wired once at construction and reset
+// in place by every Run. A Runner performs no steady-state allocation per
+// episode (except the optional trajectory recording), which is what lets
+// the Monte-Carlo evaluator run millions of episodes allocation-free.
+//
+// A Runner is not safe for concurrent use and must not be copied; each
+// worker owns one.
+type Runner struct {
+	cfg        RunConfig
+	configured bool
+	own        aircraft
+	intr       aircraft
+	prox       ProximityMeasurer
+	accident   AccidentDetector
+	clock      Clock
+
+	// Independent deterministic RNG streams: dynamics x2, sensors x2,
+	// re-seeded per episode to the exact streams Rand(seed, 0..3) yields.
+	ownDyn, intrDyn, ownSensor, intrSensor stats.ReseedableRNG
+}
+
+// NewRunner builds a reusable simulation world for the configuration.
+func NewRunner(cfg RunConfig) (*Runner, error) {
+	r := &Runner{}
+	if err := r.Reconfigure(cfg); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// Reconfigure re-wires the runner for a new configuration in place,
+// revalidating it. Reconfiguring to the current configuration is free.
+func (r *Runner) Reconfigure(cfg RunConfig) error {
+	// The short-circuit only applies once a configuration has been
+	// validated and installed: a zero Runner must not treat a zero (and
+	// invalid) RunConfig as already configured.
+	if r.configured && cfg == r.cfg {
+		return nil
+	}
 	if err := cfg.Validate(); err != nil {
-		return Result{}, err
+		return err
 	}
+	if err := r.own.vehicle.Init(cfg.OwnUAV, uav.State{}); err != nil {
+		return err
+	}
+	if err := r.intr.vehicle.Init(cfg.IntruderUAV, uav.State{}); err != nil {
+		return err
+	}
+	r.own.hasTrack, r.intr.hasTrack = cfg.UseTracker, cfg.UseTracker
+	if cfg.UseTracker {
+		if err := r.own.track.Init(cfg.Tracker); err != nil {
+			return err
+		}
+		if err := r.intr.track.Init(cfg.Tracker); err != nil {
+			return err
+		}
+	}
+	r.prox.Reset()
+	r.accident.Reset()
+	r.clock = Clock{dt: cfg.Dt}
+	r.cfg = cfg
+	r.configured = true
+	return nil
+}
+
+// Config returns the runner's configuration.
+func (r *Runner) Config() RunConfig { return r.cfg }
+
+// Run simulates one encounter between two aircraft equipped with the given
+// collision avoidance systems (use NoSystem for an unequipped aircraft),
+// resetting the whole world in place first. The run is deterministic for a
+// given seed and byte-identical to RunEncounter with the same arguments;
+// Systems are Reset before use.
+func (r *Runner) Run(p encounter.Params, ownSys, intrSys System, seed uint64) (Result, error) {
+	cfg := &r.cfg
 	ownInit, intrInit := encounter.Generate(p)
-	ownUAV, err := uav.New(cfg.OwnUAV, ownInit)
-	if err != nil {
-		return Result{}, err
-	}
-	intrUAV, err := uav.New(cfg.IntruderUAV, intrInit)
-	if err != nil {
-		return Result{}, err
-	}
-	ownSys.Reset()
-	intrSys.Reset()
+	r.own.reset(ownSys, ownInit)
+	r.intr.reset(intrSys, intrInit)
+	r.prox.Reset()
+	r.accident.Reset()
+	r.clock.Reset()
 
-	mkTracker := func() *tracker.Tracker {
-		if !cfg.UseTracker {
-			return nil
-		}
-		tr, err := tracker.New(cfg.Tracker)
-		if err != nil {
-			return nil
-		}
-		return tr
-	}
-
-	own := &aircraft{vehicle: ownUAV, system: ownSys, track: mkTracker(), firstAlertAt: -1}
-	intr := &aircraft{vehicle: intrUAV, system: intrSys, track: mkTracker(), firstAlertAt: -1}
-
-	// Independent deterministic RNG streams: dynamics x2, sensors x2.
-	ownDyn := Rand(seed, 0)
-	intrDyn := Rand(seed, 1)
-	ownSensor := Rand(seed, 2)
-	intrSensor := Rand(seed, 3)
+	ownDyn := r.ownDyn.SeedPCG(streamSeedWords(seed, 0))
+	intrDyn := r.intrDyn.SeedPCG(streamSeedWords(seed, 1))
+	ownSensor := r.ownSensor.SeedPCG(streamSeedWords(seed, 2))
+	intrSensor := r.intrSensor.SeedPCG(streamSeedWords(seed, 3))
 
 	duration := p.TimeToCPA + cfg.Overtime
-	clock, err := NewClock(cfg.Dt)
-	if err != nil {
-		return Result{}, err
-	}
-	prox := NewProximityMeasurer()
-	accident := NewAccidentDetector()
-
 	res := Result{OwnAlertTime: -1}
-	observe := func(now float64, a, b geom.Vec3) {
-		prox.Observe(now, a, b)
-		accident.Observe(now, a, b)
+	r.observe(0, r.own.vehicle.State().Pos, r.intr.vehicle.State().Pos)
+	if cfg.RecordTrajectory {
+		res.Trajectory = append(res.Trajectory, r.trajectoryPoint(0))
 	}
-	observe(0, ownUAV.State().Pos, intrUAV.State().Pos)
-	record := func(now float64) {
-		if !cfg.RecordTrajectory {
-			return
-		}
-		res.Trajectory = append(res.Trajectory, TrajectoryPoint{
-			T:                now,
-			Own:              ownUAV.State(),
-			Intruder:         intrUAV.State(),
-			OwnAlerting:      own.lastDecision.Alerting,
-			IntruderAlerting: intr.lastDecision.Alerting,
-			OwnSense:         own.lastDecision.Sense,
-			IntruderSense:    intr.lastDecision.Sense,
-		})
-	}
-	record(0)
 
 	nextDecision := 0.0
-	for clock.Now() < duration {
-		now := clock.Now()
+	for r.clock.Now() < duration {
+		now := r.clock.Now()
 		if now >= nextDecision {
-			decide(now, own, intr, cfg, ownSensor)
-			decide(now, intr, own, cfg, intrSensor)
+			r.decide(now, &r.own, &r.intr, ownSensor)
+			r.decide(now, &r.intr, &r.own, intrSensor)
 			nextDecision += cfg.DecisionPeriod
 		}
-		ownBefore := ownUAV.State().Pos
-		intrBefore := intrUAV.State().Pos
-		ownUAV.Step(cfg.Dt, ownDyn)
-		intrUAV.Step(cfg.Dt, intrDyn)
-		sampleSeparationFine(now, cfg.Dt, ownBefore, ownUAV.State().Pos, intrBefore, intrUAV.State().Pos,
-			cfg.MonitorSubSteps, observe)
-		clock.Tick()
-		record(clock.Now())
+		ownBefore := r.own.vehicle.State().Pos
+		intrBefore := r.intr.vehicle.State().Pos
+		r.own.vehicle.Step(cfg.Dt, ownDyn)
+		r.intr.vehicle.Step(cfg.Dt, intrDyn)
+		r.sampleSeparationFine(now, ownBefore, r.own.vehicle.State().Pos, intrBefore, r.intr.vehicle.State().Pos)
+		r.clock.Tick()
+		if cfg.RecordTrajectory {
+			res.Trajectory = append(res.Trajectory, r.trajectoryPoint(r.clock.Now()))
+		}
 	}
 
-	res.NMAC, res.NMACTime = accident.NMAC()
-	res.MinSeparation, res.MinSeparationAt = prox.Min3D()
-	res.MinHorizontal = prox.MinHorizontal()
-	res.MinVertical = prox.MinVertical()
-	res.OwnAlerts = own.alerts
-	res.IntruderAlerts = intr.alerts
-	res.OwnAlertTime = own.firstAlertAt
-	res.Duration = clock.Now()
+	res.NMAC, res.NMACTime = r.accident.NMAC()
+	res.MinSeparation, res.MinSeparationAt = r.prox.Min3D()
+	res.MinHorizontal = r.prox.MinHorizontal()
+	res.MinVertical = r.prox.MinVertical()
+	res.OwnAlerts = r.own.alerts
+	res.IntruderAlerts = r.intr.alerts
+	res.OwnAlertTime = r.own.firstAlertAt
+	res.Duration = r.clock.Now()
 	return res, nil
 }
 
+// observe feeds one pair of positions to both monitors.
+func (r *Runner) observe(now float64, a, b geom.Vec3) {
+	r.prox.Observe(now, a, b)
+	r.accident.Observe(now, a, b)
+}
+
+// sampleSeparationFine linearly interpolates both trajectories across a
+// step and feeds sub-sampled positions to the monitors so that fast
+// crossings are not stepped over.
+func (r *Runner) sampleSeparationFine(t0 float64, aFrom, aTo, bFrom, bTo geom.Vec3) {
+	subSteps := r.cfg.MonitorSubSteps
+	if subSteps < 1 {
+		subSteps = 1
+	}
+	for i := 1; i <= subSteps; i++ {
+		f := float64(i) / float64(subSteps)
+		r.observe(t0+f*r.cfg.Dt, aFrom.Lerp(aTo, f), bFrom.Lerp(bTo, f))
+	}
+}
+
+// trajectoryPoint snapshots the current world state for recording.
+func (r *Runner) trajectoryPoint(now float64) TrajectoryPoint {
+	return TrajectoryPoint{
+		T:                now,
+		Own:              r.own.vehicle.State(),
+		Intruder:         r.intr.vehicle.State(),
+		OwnAlerting:      r.own.lastDecision.Alerting,
+		IntruderAlerting: r.intr.lastDecision.Alerting,
+		OwnSense:         r.own.lastDecision.Sense,
+		IntruderSense:    r.intr.lastDecision.Sense,
+	}
+}
+
+// RunEncounter simulates one encounter between two aircraft equipped with
+// the given collision avoidance systems (use NoSystem for an unequipped
+// aircraft). The run is deterministic for a given seed. Systems are Reset
+// before use. Callers running many episodes should hold a Runner and call
+// its Run method instead, which reuses the whole simulation world.
+func RunEncounter(p encounter.Params, ownSys, intrSys System, cfg RunConfig, seed uint64) (Result, error) {
+	r, err := NewRunner(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	return r.Run(p, ownSys, intrSys, seed)
+}
+
 // decide runs one decision cycle for aircraft a against peer b.
-func decide(now float64, a, b *aircraft, cfg RunConfig, sensorRNG *rand.Rand) {
+func (r *Runner) decide(now float64, a, b *aircraft, sensorRNG *rand.Rand) {
 	// Surveillance: a receives b's broadcast with sensor noise.
-	rep := cfg.Sensor.Observe(b.vehicle.State(), now, sensorRNG)
+	rep := r.cfg.Sensor.Observe(b.vehicle.State(), now, sensorRNG)
 	var pos, vel geom.Vec3
 	haveTrack := false
-	if a.track != nil {
+	if a.hasTrack {
 		if rep.Valid {
 			est := a.track.Update(rep.Pos, rep.Vel, now)
 			pos, vel, haveTrack = est.Pos, est.Vel, est.Initialized
@@ -262,7 +353,7 @@ func decide(now float64, a, b *aircraft, cfg RunConfig, sensorRNG *rand.Rand) {
 	}
 
 	var constraint Constraint
-	if cfg.Coordination {
+	if r.cfg.Coordination {
 		switch b.lastDecision.Sense {
 		case SenseUp:
 			constraint.BanUp = true

@@ -294,27 +294,29 @@ func TestNoSystemDecision(t *testing.T) {
 }
 
 func TestSampleSeparationFine(t *testing.T) {
-	var times []float64
-	sampleSeparationFine(10, 1, geom.Vec3{}, geom.Vec3{X: 10}, geom.Vec3{}, geom.Vec3{},
-		4, func(now float64, a, b geom.Vec3) {
-			times = append(times, now)
-			wantX := (now - 10) * 10
-			if math.Abs(a.X-wantX) > 1e-9 {
-				t.Errorf("at %v: a.X = %v, want %v", now, a.X, wantX)
-			}
-		})
-	if len(times) != 4 {
-		t.Fatalf("got %d samples, want 4", len(times))
+	cfg := DefaultRunConfig()
+	cfg.Dt = 1
+	cfg.MonitorSubSteps = 4
+	r, err := NewRunner(cfg)
+	if err != nil {
+		t.Fatal(err)
 	}
-	if times[len(times)-1] != 11 {
-		t.Errorf("last sample at %v, want 11", times[len(times)-1])
+	// Own flies from the origin to X=10 over one step while the intruder
+	// stays put: the first sub-sample (f=1/4 at t=10.25) is the closest.
+	r.sampleSeparationFine(10, geom.Vec3{}, geom.Vec3{X: 10}, geom.Vec3{}, geom.Vec3{})
+	min, at := r.prox.Min3D()
+	if math.Abs(min-2.5) > 1e-9 || math.Abs(at-10.25) > 1e-9 {
+		t.Errorf("min separation %v at %v, want 2.5 at 10.25", min, at)
 	}
-	// Degenerate substeps fall back to one sample.
-	count := 0
-	sampleSeparationFine(0, 1, geom.Vec3{}, geom.Vec3{}, geom.Vec3{}, geom.Vec3{}, 0,
-		func(float64, geom.Vec3, geom.Vec3) { count++ })
-	if count != 1 {
-		t.Errorf("degenerate substeps gave %d samples", count)
+	// Degenerate substeps fall back to one sample at the end of the step.
+	cfg.MonitorSubSteps = 0
+	r2, err := NewRunner(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.sampleSeparationFine(0, geom.Vec3{}, geom.Vec3{X: 3}, geom.Vec3{}, geom.Vec3{})
+	if min, at := r2.prox.Min3D(); min != 3 || at != 1 {
+		t.Errorf("degenerate substeps min %v at %v, want 3 at 1", min, at)
 	}
 }
 

@@ -70,10 +70,23 @@ type Tracker struct {
 // New creates a tracker; the first Update initializes the track directly
 // from the measurement.
 func New(cfg Config) (*Tracker, error) {
-	if err := cfg.Validate(); err != nil {
+	t := &Tracker{}
+	if err := t.Init(cfg); err != nil {
 		return nil, err
 	}
-	return &Tracker{cfg: cfg}, nil
+	return t, nil
+}
+
+// Init (re)initializes the tracker in place: validate and install the
+// configuration and drop any existing track. It lets a caller embed a
+// Tracker by value and rebuild it without allocating.
+func (t *Tracker) Init(cfg Config) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	t.cfg = cfg
+	t.Reset()
+	return nil
 }
 
 // Estimate returns the current track estimate.

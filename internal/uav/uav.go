@@ -128,10 +128,36 @@ type UAV struct {
 // initial velocity becomes the flight plan the aircraft tracks when no
 // avoidance command is active.
 func New(cfg Config, initial State) (*UAV, error) {
-	if err := cfg.Validate(); err != nil {
+	u := &UAV{}
+	if err := u.Init(cfg, initial); err != nil {
 		return nil, err
 	}
-	return &UAV{cfg: cfg, st: initial, plan: initial.Vel}, nil
+	return u, nil
+}
+
+// Init (re)initializes the aircraft in place: validate and install the
+// configuration, then Reset to the initial state. It lets a caller embed a
+// UAV by value and rebuild it without allocating.
+func (u *UAV) Init(cfg Config, initial State) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	u.cfg = cfg
+	u.Reset(initial)
+	return nil
+}
+
+// Reset returns the aircraft to a fresh-from-New state under its current
+// configuration: the initial velocity becomes the new flight plan and any
+// active command (and pending response delay) is discarded. A reset UAV
+// flies the byte-identical trajectory of a newly constructed one given the
+// same disturbance stream.
+func (u *UAV) Reset(initial State) {
+	u.st = initial
+	u.plan = initial.Vel
+	u.cmd = Command{}
+	u.hasCmd = false
+	u.delayLeft = 0
 }
 
 // State returns the current true state.

@@ -9,15 +9,24 @@
 #	go run ./cmd/benchjson -compare BENCH_old.json BENCH_new.json
 #
 # Environment overrides:
-#	OUT               output file   (default BENCH_<today>.json)
-#	BENCHTIME         -benchtime for the E1-E8 harness (default 1x)
-#	LOOKUP_BENCHTIME  -benchtime for the lookup hot path (default 100000x)
+#	OUT                output file   (default BENCH_<today>.json)
+#	BENCHTIME          -benchtime for the E1-E8 harness (default 1x)
+#	LOOKUP_BENCHTIME   -benchtime for the lookup hot path (default 100000x)
+#	EPISODE_BENCHTIME  -benchtime for the steady-state episode benchmark
+#	                   (default 2000x; allocs/op is per episode)
+#	PARALLEL_BENCHTIME -benchtime for the worker-scaling benchmark
+#	                   (default 5x; each op is a 512-episode estimate)
+#	TABLE_BENCHTIME    -benchtime for the table save/load benchmarks
+#	                   (default 50x)
 set -eu
 cd "$(dirname "$0")/.."
 
 OUT=${OUT:-BENCH_$(date +%Y-%m-%d).json}
 BENCHTIME=${BENCHTIME:-1x}
 LOOKUP_BENCHTIME=${LOOKUP_BENCHTIME:-100000x}
+EPISODE_BENCHTIME=${EPISODE_BENCHTIME:-2000x}
+PARALLEL_BENCHTIME=${PARALLEL_BENCHTIME:-5x}
+TABLE_BENCHTIME=${TABLE_BENCHTIME:-50x}
 
 TMP=$(mktemp)
 STAGE=$(mktemp)
@@ -48,6 +57,18 @@ run_bench -run '^$' \
 # its allocs/op must stay 0 (CI gates on it).
 run_bench -run '^$' -bench '^BenchmarkTableLookupHot$' \
   -benchtime "$LOOKUP_BENCHTIME" -benchmem .
+
+# The Monte-Carlo episode engine: steady-state per-episode cost (b.N is
+# the episode count, so allocs/op must stay ~0 — CI gates on it) and
+# worker-count wall-clock scaling (512-episode estimates per op).
+run_bench -run '^$' -bench '^BenchmarkEvaluateSteadyState$' \
+  -benchtime "$EPISODE_BENCHTIME" -benchmem ./internal/montecarlo
+run_bench -run '^$' -bench '^BenchmarkEvaluateParallel$' \
+  -benchtime "$PARALLEL_BENCHTIME" -benchmem ./internal/montecarlo
+
+# Logic-table save/load throughput (bulk slice encoding).
+run_bench -run '^$' -bench '^(BenchmarkTableWriteTo|BenchmarkTableReadTable)$' \
+  -benchtime "$TABLE_BENCHTIME" -benchmem ./internal/acasx
 
 # Convert into $STAGE first and move into place, so a benchjson failure
 # cannot leave a truncated snapshot behind.
