@@ -22,7 +22,7 @@
 //	         [-seed 1] [-top 10] [-system acasx|belief|svo|none]
 //	         [-params ecj.params] [-fitness-csv fig6.csv]
 //	         [-baseline] [-clusters 3]
-//	         [-islands N] [-checkpoint state.json] [-resume]
+//	         [-islands N] [-intruders K] [-checkpoint state.json] [-resume]
 //	         [-seed-from-sweep results.jsonl] [-archive danger.jsonl]
 //	         [-migrate-every K] [-migrants M] [-threshold F] [-mindist D]
 //	         [-episode-workers W]
@@ -72,6 +72,7 @@ func run() error {
 		clusters   = flag.Int("clusters", 0, "cluster the high-fitness encounters into K groups (serial path only)")
 
 		islandsFlag = flag.Int("islands", 0, "island count: 1 runs the classic serial search, >= 2 the island engine, 0 takes -params' search.islands (default 1)")
+		intruders   = flag.Int("intruders", 0, "island engine: intruders K per evolved encounter (genome length K*9; 0 = spec default, i.e. pairwise)")
 		checkpoint  = flag.String("checkpoint", "", "island engine: checkpoint file written after every generation")
 		resume      = flag.Bool("resume", false, "island engine: resume from -checkpoint instead of starting fresh")
 		seedSweep   = flag.String("seed-from-sweep", "", "island engine: seed initial populations from this sweep JSONL")
@@ -104,6 +105,9 @@ func run() error {
 	}
 	if *epWorkers < 0 {
 		return fmt.Errorf("-episode-workers %d < 0", *epWorkers)
+	}
+	if set["intruders"] && *intruders < 1 {
+		return fmt.Errorf("-intruders %d < 1", *intruders)
 	}
 	// The params file is loaded once here and shared by both paths.
 	var params *config.Params
@@ -143,6 +147,7 @@ func run() error {
 			tablePath: *tablePath, coarse: *coarse, system: *system,
 			pop: *pop, gens: *gens, sims: *sims, seed: *seed, topK: *topK,
 			params: params, paramsFile: *paramsFile, set: set, islands: islands,
+			intruders:  *intruders,
 			checkpoint: *checkpoint, resume: *resume, seedSweep: *seedSweep,
 			archiveOut: *archiveOut, migEvery: *migEvery, migrants: *migrants,
 			threshold: *threshold, minDist: *minDist, epWorkers: *epWorkers,
@@ -158,8 +163,20 @@ func run() error {
 		{"threshold", set["threshold"]},
 		{"mindist", set["mindist"]},
 		{"episode-workers", set["episode-workers"]},
+		{"intruders", set["intruders"] && *intruders > 1},
 	}); err != nil {
 		return err
+	}
+	// The serial path evolves the classic pairwise genome only; a spec file
+	// declaring a K-intruder search must run on the island engine.
+	if params != nil {
+		k, err := params.IntOr("search.intruders", 0)
+		if err != nil {
+			return err
+		}
+		if k > 1 {
+			return fmt.Errorf("%s: search.intruders %d requires the island engine (-islands >= 2, or a search.islands key)", *paramsFile, k)
+		}
 	}
 
 	cfg := core.DefaultSearchConfig()
@@ -318,6 +335,7 @@ type islandArgs struct {
 	set                               map[string]bool
 	coarse                            bool
 	pop, gens, sims, topK, islands    int
+	intruders                         int
 	seed                              uint64
 	checkpoint, seedSweep, archiveOut string
 	resume                            bool
@@ -352,6 +370,9 @@ func runIslands(a islandArgs) error {
 		spec.Seed = a.seed
 	}
 	spec.Islands = a.islands
+	if a.set["intruders"] {
+		spec.Intruders = a.intruders
+	}
 	if a.set["migrate-every"] {
 		spec.MigrationInterval = a.migEvery
 	}
@@ -382,8 +403,8 @@ func runIslands(a islandArgs) error {
 		return err
 	}
 
-	fmt.Printf("island search: system=%s islands=%d pop/island=%d gens=%d sims/encounter=%d seed=%d migration=%d every %d\n",
-		a.system, spec.Islands, spec.GA.PopulationSize, spec.GA.Generations,
+	fmt.Printf("island search: system=%s islands=%d intruders=%d pop/island=%d gens=%d sims/encounter=%d seed=%d migration=%d every %d\n",
+		a.system, spec.Islands, spec.NumIntruders(), spec.GA.PopulationSize, spec.GA.Generations,
 		spec.Fitness.SimsPerEncounter, spec.Seed, spec.MigrationSize, spec.MigrationInterval)
 
 	lastGen := -1

@@ -1,19 +1,27 @@
-// Command encsim simulates a single two-UAV encounter and renders the
-// trajectories — the headless equivalent of the paper's visualization mode
-// used for Fig. 5 (coordinated head-on avoidance) and Figs. 7-8 (typical
-// GA-discovered collision situations).
+// Command encsim simulates a single encounter — two-UAV or one ownship
+// against K intruders — and renders the trajectories: the headless
+// equivalent of the paper's visualization mode used for Fig. 5 (coordinated
+// head-on avoidance) and Figs. 7-8 (typical GA-discovered collision
+// situations).
+//
+// -preset accepts both the pairwise presets and the multi-intruder ones
+// (convergepair, crossstream, sandwich). -intruders K fans a pairwise
+// geometry into K copies rotated evenly around the ownship — a quick way
+// to stress the multi-threat fusion with any classic preset. -genome takes
+// K*9 comma-separated values for an explicit K-intruder encounter.
 //
 // Usage:
 //
-//	encsim -preset <name> [-runs 100]
+//	encsim -preset <name> [-intruders K] [-runs 100]
 //	       [-system acasx|belief|svo|none] [-table table.acxt] [-seed 1]
 //	       [-svg out.svg] [-csv out.csv] [-plane plan|profile|time]
-//	encsim -genome "Gso,Vso,T,R,theta,Y,Gsi,psi,Vsi" ...
+//	encsim -genome "Gso,Vso,T,R,theta,Y,Gsi,psi,Vsi[,...]" ...
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -37,8 +45,11 @@ func main() {
 
 func run() error {
 	var (
-		preset    = flag.String("preset", "headon", "encounter preset: "+strings.Join(encounter.PresetNames(), ", "))
-		genome    = flag.String("genome", "", "explicit 9-parameter encounter, comma-separated (overrides -preset)")
+		preset = flag.String("preset", "headon", "encounter preset: "+
+			strings.Join(encounter.PresetNames(), ", ")+" (pairwise) or "+
+			strings.Join(encounter.MultiPresetNames(), ", ")+" (multi-intruder)")
+		intruders = flag.Int("intruders", 0, "fan a pairwise encounter into K intruders rotated evenly around the ownship (0 keeps the scenario's own count)")
+		genome    = flag.String("genome", "", "explicit K*9-parameter encounter, comma-separated (overrides -preset)")
 		foundCSV  = flag.String("found", "", "replay an encounter from a casearch -found-csv file (overrides -preset)")
 		foundRank = flag.Int("found-rank", 1, "1-based row to replay from the -found file")
 		system    = flag.String("system", "acasx", "system under test: acasx, belief, svo or none")
@@ -52,16 +63,29 @@ func run() error {
 	)
 	flag.Parse()
 
-	p, err := pickEncounter(*preset, *genome)
+	m, err := pickEncounter(*preset, *genome)
 	if err != nil {
 		return err
 	}
 	if *foundCSV != "" {
-		p, err = loadFound(*foundCSV, *foundRank)
+		m, err = loadFound(*foundCSV, *foundRank)
 		if err != nil {
 			return err
 		}
 	}
+	if *intruders < 0 {
+		return fmt.Errorf("-intruders %d < 0", *intruders)
+	}
+	if *intruders > 0 {
+		if m.NumIntruders() > 1 && *intruders != m.NumIntruders() {
+			return fmt.Errorf("-intruders %d conflicts with a scenario that already has %d intruders",
+				*intruders, m.NumIntruders())
+		}
+		if m.NumIntruders() == 1 {
+			m = fanEncounter(m.Intruders[0], *intruders)
+		}
+	}
+	k := m.NumIntruders()
 	plane, err := pickPlane(*planeName)
 	if err != nil {
 		return err
@@ -74,17 +98,23 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	// One system per aircraft: the factory's pair covers the ownship and
+	// intruder 1, each further call equips one more intruder.
+	systems := sim.AppendSystemsFromPair(make([]sim.System, 0, k+1), factory, k)
 
-	g := encounter.Classify(p)
-	fmt.Printf("encounter: %s\n", p)
-	fmt.Printf("geometry: %s, closure %.1f m/s, vertically opposed %v\n",
-		g.Category, g.ClosureRate, g.VerticallyOpposed)
+	g := encounter.ClassifyMulti(m)
+	fmt.Printf("encounter: %s\n", m)
+	fmt.Printf("geometry: %s, closure %.1f m/s, vertically opposed %v (dominant of %d intruder(s))\n",
+		g.Category, g.ClosureRate, g.VerticallyOpposed, k)
 
 	// Detailed first run with trajectory recording.
 	cfg := sim.DefaultRunConfig()
 	cfg.RecordTrajectory = true
-	own, intr := factory()
-	first, err := sim.RunEncounter(p, own, intr, cfg, *seed)
+	runner, err := sim.NewRunner(cfg)
+	if err != nil {
+		return err
+	}
+	first, err := runner.RunMulti(m, systems, *seed)
 	if err != nil {
 		return err
 	}
@@ -94,7 +124,10 @@ func run() error {
 	}
 	fmt.Printf("\nrun 0: NMAC=%v minSep=%.1f m (horizontal %.1f, vertical %.1f), own alerts %d, intruder alerts %d\n",
 		first.NMAC, first.MinSeparation, first.MinHorizontal, first.MinVertical,
-		first.OwnAlerts, first.IntruderAlerts)
+		first.OwnAlerts(), first.IntruderAlerts())
+	if k > 1 {
+		fmt.Printf("(rendering intruder 1 of %d; separations and NMACs above are minima over all intruders)\n", k)
+	}
 	fmt.Print(viz.RenderTrajectories(first.Trajectory, plane, 100, 24, nmacAt))
 	fmt.Println()
 	fmt.Print(viz.RenderSeparationSeries(first.Trajectory, 100, 12))
@@ -117,10 +150,13 @@ func run() error {
 	// encounter would result in mid-air collisions ... in a head-on
 	// encounter less than 5 out of 100").
 	cfg.RecordTrajectory = false
+	if err := runner.Reconfigure(cfg); err != nil {
+		return err
+	}
 	nmacs, alerted := 0, 0
 	var sep stats.Accumulator
-	for k := 0; k < *runs; k++ {
-		res, err := sim.RunEncounter(p, own, intr, cfg, stats.DeriveSeed(*seed, k))
+	for i := 0; i < *runs; i++ {
+		res, err := runner.RunMulti(m, systems, stats.DeriveSeed(*seed, i))
 		if err != nil {
 			return err
 		}
@@ -138,41 +174,56 @@ func run() error {
 	return nil
 }
 
-func pickEncounter(preset, genome string) (encounter.Params, error) {
+func pickEncounter(preset, genome string) (encounter.MultiParams, error) {
 	if genome == "" {
-		return encounter.Preset(preset)
+		return encounter.MultiPreset(preset)
 	}
 	fields := strings.Split(genome, ",")
-	if len(fields) != encounter.NumParams {
-		return encounter.Params{}, fmt.Errorf("genome has %d fields, want %d", len(fields), encounter.NumParams)
+	if len(fields)%encounter.NumParams != 0 {
+		return encounter.MultiParams{}, fmt.Errorf("genome has %d fields, want a multiple of %d", len(fields), encounter.NumParams)
 	}
 	v := make([]float64, len(fields))
 	for i, f := range fields {
 		x, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
 		if err != nil {
-			return encounter.Params{}, fmt.Errorf("genome field %d: %w", i, err)
+			return encounter.MultiParams{}, fmt.Errorf("genome field %d: %w", i, err)
 		}
 		v[i] = x
 	}
-	return encounter.FromVector(v)
+	return encounter.MultiFromVector(v)
 }
 
-func loadFound(path string, rank int) (encounter.Params, error) {
+// fanEncounter spreads k copies of a pairwise geometry evenly around the
+// ownship: copy i approaches with its CPA position and bearing rotated by
+// i/k of a full turn, so one classic preset becomes a k-threat convergence.
+func fanEncounter(p encounter.Params, k int) encounter.MultiParams {
+	out := make([]encounter.Params, k)
+	for i := range out {
+		rot := 2 * math.Pi * float64(i) / float64(k)
+		q := p
+		q.ApproachAngle = math.Mod(p.ApproachAngle+rot, 2*math.Pi)
+		q.IntruderBearing = math.Mod(p.IntruderBearing+rot, 2*math.Pi)
+		out[i] = q
+	}
+	return encounter.MultiOf(out...)
+}
+
+func loadFound(path string, rank int) (encounter.MultiParams, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return encounter.Params{}, err
+		return encounter.MultiParams{}, err
 	}
 	defer f.Close()
 	found, err := core.ReadFound(f)
 	if err != nil {
-		return encounter.Params{}, err
+		return encounter.MultiParams{}, err
 	}
 	if rank < 1 || rank > len(found) {
-		return encounter.Params{}, fmt.Errorf("found rank %d outside 1..%d", rank, len(found))
+		return encounter.MultiParams{}, fmt.Errorf("found rank %d outside 1..%d", rank, len(found))
 	}
 	fmt.Printf("replaying %s rank %d (recorded fitness %.1f, generation %d)\n",
 		path, rank, found[rank-1].Fitness, found[rank-1].Generation)
-	return found[rank-1].Params, nil
+	return found[rank-1].Params.Multi(), nil
 }
 
 func pickPlane(name string) (viz.Plane, error) {

@@ -10,7 +10,7 @@
 // Usage:
 //
 //	sweep [-spec params/sweep-demo.params] [-out results.jsonl]
-//	      [-seed N] [-samples N] [-table table.acxt] [-full]
+//	      [-seed N] [-samples N] [-intruders K] [-table table.acxt] [-full]
 //	      [-extra danger.jsonl]
 //
 // With no -out, the JSONL stream precedes the summary on stdout. Timing
@@ -48,6 +48,7 @@ func run() (err error) {
 		tablePath = flag.String("table", "", "logic table path (built on the fly when absent)")
 		full      = flag.Bool("full", false, "build the full-resolution table instead of the coarse one")
 		extra     = flag.String("extra", "", "danger-archive JSONL whose entries join the scenario axis")
+		intruders = flag.Int("intruders", 0, "override the spec's model-draw intruder count K (0 keeps the spec value; presets and explicit scenarios carry their own K)")
 	)
 	flag.Parse()
 
@@ -66,6 +67,12 @@ func run() (err error) {
 		}
 		spec.Scenarios = append(spec.Scenarios, scenarios...)
 		fmt.Fprintf(os.Stderr, "added %d archive scenarios from %s\n", len(scenarios), *extra)
+	}
+	if *intruders < 0 {
+		return fmt.Errorf("-intruders %d < 0", *intruders)
+	}
+	if *intruders != 0 {
+		spec.Intruders = *intruders
 	}
 	if *seed != 0 {
 		spec.Seed = *seed

@@ -40,6 +40,22 @@
 // — sweep -> search -> archive -> sweep. cmd/casearch drives the engine
 // with -islands N; examples/adversarial walks the loop end to end.
 //
+// Encounters are not limited to the paper's pairwise geometry: every
+// layer accepts one-ownship, K-intruder scenarios (MultiEncounterParams —
+// K pairwise parameter blocks sharing the ownship state, so the genome is
+// K*9 genes and K = 1 is bit-identical to the classic path).
+// RunMultiEncounter simulates all K conflicts in one closed-loop world,
+// equipped executives query the logic table per intruder and fuse
+// advisories most-restrictive-first, and monitors score the minimum over
+// every ownship-intruder pair. Three multi-intruder presets ship
+// (MultiPresetConvergingPair, MultiPresetCrossingStream,
+// MultiPresetSandwich; MultiEncounterPreset resolves them and every
+// pairwise preset by name), EstimateMultiRisk evaluates a K-intruder
+// statistical airspace (DefaultMultiEncounterModel), campaign specs mix
+// pairwise and multi presets on one scenario axis (campaign.intruders
+// widens model draws), and the island search evolves K-block genomes
+// (search.intruders). examples/multithreat walks the stack end to end.
+//
 // Everything above bottoms out in one parallel, allocation-free episode
 // engine. Every episode's random streams derive counter-style from
 // (seed, episode index), so Monte-Carlo estimates are bit-identical for

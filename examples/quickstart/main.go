@@ -36,7 +36,7 @@ func main() {
 	fmt.Printf("minimum 3-D separation: %.1f m\n", res.MinSeparation)
 	fmt.Printf("proximity measurer minima (tracked independently, as in the paper): horizontal %.1f m, vertical %.1f m\n",
 		res.MinHorizontal, res.MinVertical)
-	fmt.Printf("own-ship alerted %d time(s), first at t=%.1f s\n", res.OwnAlerts, res.OwnAlertTime)
+	fmt.Printf("own-ship alerted %d time(s), first at t=%.1f s\n", res.OwnAlerts(), res.OwnAlertTime)
 
 	// 3. Baseline: the same encounter unequipped collides.
 	own, intr := acasxval.Unequipped()

@@ -35,6 +35,9 @@ type (
 
 	// EncounterParams are the paper's nine encounter parameters.
 	EncounterParams = encounter.Params
+	// MultiEncounterParams describe a one-ownship, K-intruder encounter:
+	// one pairwise EncounterParams per intruder sharing the ownship state.
+	MultiEncounterParams = encounter.MultiParams
 	// EncounterRanges bound the encounter search space.
 	EncounterRanges = encounter.Ranges
 	// Geometry classifies an encounter (head-on / tail approach /
@@ -71,6 +74,10 @@ type (
 	// EncounterModel is a statistical encounter model for Monte-Carlo
 	// estimation.
 	EncounterModel = montecarlo.EncounterModel
+	// MultiEncounterModel is the K-intruder statistical encounter model:
+	// one pairwise EncounterModel per intruder, sampled onto a shared
+	// ownship state.
+	MultiEncounterModel = montecarlo.MultiEncounterModel
 	// MonteCarloConfig parameterizes risk estimation.
 	MonteCarloConfig = montecarlo.Config
 	// RiskEstimate is a Monte-Carlo risk estimate.
@@ -173,6 +180,16 @@ func RunEncounter(p EncounterParams, own, intruder System, cfg RunConfig, seed u
 	return sim.RunEncounter(p, own, intruder, cfg, seed)
 }
 
+// RunMultiEncounter simulates one encounter between the ownship and the
+// scenario's K intruders: systems[0] equips the ownship, systems[j]
+// intruder j (use Unequipped's systems for unequipped aircraft). The
+// ownship resolves all K threats per decision cycle, fusing per-intruder
+// logic queries most-restrictive-first when its system supports it. A
+// single-intruder call is bit-identical to RunEncounter.
+func RunMultiEncounter(m MultiEncounterParams, systems []System, cfg RunConfig, seed uint64) (RunResult, error) {
+	return sim.RunMultiEncounter(m, systems, cfg, seed)
+}
+
 // DefaultEncounterRanges returns the section VII search space.
 func DefaultEncounterRanges() EncounterRanges { return encounter.DefaultRanges() }
 
@@ -202,8 +219,34 @@ func EncounterPreset(name string) (EncounterParams, error) { return encounter.Pr
 // EncounterPresetNames lists the available encounter presets.
 func EncounterPresetNames() []string { return encounter.PresetNames() }
 
+// Multi-intruder preset encounters: the canonical K >= 2 geometries
+// integrated-airspace traffic produces and pairwise validation never
+// exercises.
+var (
+	// MultiPresetConvergingPair is a simultaneous two-sided convergence.
+	MultiPresetConvergingPair = encounter.MultiPresetConvergingPair
+	// MultiPresetCrossingStream is three crossers with staggered CPAs.
+	MultiPresetCrossingStream = encounter.MultiPresetCrossingStream
+	// MultiPresetSandwich is a vertical pincer from above and below.
+	MultiPresetSandwich = encounter.MultiPresetSandwich
+)
+
+// MultiEncounterPreset looks up a named preset as a K-intruder encounter:
+// the multi-intruder names (MultiEncounterPresetNames) plus every pairwise
+// preset wrapped as a single-intruder encounter.
+func MultiEncounterPreset(name string) (MultiEncounterParams, error) {
+	return encounter.MultiPreset(name)
+}
+
+// MultiEncounterPresetNames lists the multi-intruder presets.
+func MultiEncounterPresetNames() []string { return encounter.MultiPresetNames() }
+
 // Classify derives the geometry class of an encounter.
 func Classify(p EncounterParams) Geometry { return encounter.Classify(p) }
+
+// ClassifyMulti classifies a K-intruder encounter by its dominant (highest
+// initial closure) pairwise geometry.
+func ClassifyMulti(m MultiEncounterParams) Geometry { return encounter.ClassifyMulti(m) }
 
 // DefaultSearchConfig reproduces the paper's section VII search settings
 // (population 200, 5 generations, 100 simulations per encounter).
@@ -238,6 +281,20 @@ func DefaultMonteCarloConfig() MonteCarloConfig { return montecarlo.DefaultConfi
 // the estimate is bit-identical for any worker count.
 func EstimateRisk(model EncounterModel, factory SystemFactory, cfg MonteCarloConfig) (*RiskEstimate, error) {
 	return montecarlo.Evaluate(model, montecarlo.SystemFactory(factory), cfg)
+}
+
+// DefaultMultiEncounterModel returns k independent copies of the default
+// airspace model sampled onto a shared ownship state per episode.
+func DefaultMultiEncounterModel(k int) MultiEncounterModel {
+	return montecarlo.DefaultMultiEncounterModel(k)
+}
+
+// EstimateMultiRisk is EstimateRisk against a K-intruder encounter model:
+// every episode samples one ownship plus K intruders and simulates all
+// pairwise conflicts in one closed-loop world. A single-intruder model
+// produces the exact estimate of EstimateRisk.
+func EstimateMultiRisk(model MultiEncounterModel, factory SystemFactory, cfg MonteCarloConfig) (*RiskEstimate, error) {
+	return montecarlo.EvaluateMulti(model, montecarlo.SystemFactory(factory), cfg)
 }
 
 // RiskRatio is P(NMAC | equipped) / P(NMAC | unequipped).

@@ -2,7 +2,6 @@ package acasx
 
 import (
 	"fmt"
-	"math"
 
 	"acasxval/internal/geom"
 	"acasxval/internal/uav"
@@ -24,6 +23,9 @@ type BeliefLogic struct {
 	sigmas   BeliefSigmas
 	advisory Advisory
 	alerts   int
+	// multiQ is the per-threat query scratch of DecideMulti (see
+	// Logic.multiQ).
+	multiQ [NumAdvisories]float64
 }
 
 // BeliefSigmas are the standard deviations of the state belief held online.
@@ -188,19 +190,7 @@ func (l *BeliefLogic) Decide(own uav.State, intrPos, intrVel geom.Vec3, mask Sen
 		// queries the table once via the shared-weight scan.
 		var eq [NumAdvisories]float64
 		l.expectedAllQ(&eq, tau, h, dh0, dh1, prev)
-		best := COC
-		bestQ := math.Inf(-1)
-		found := false
-		for a := COC; a < NumAdvisories; a++ {
-			if !mask.Allows(a) {
-				continue
-			}
-			if eq[a] > bestQ {
-				bestQ = eq[a]
-				best = a
-				found = true
-			}
-		}
+		best, found := bestAllowed(&eq, mask)
 		if !found {
 			best = COC
 		}

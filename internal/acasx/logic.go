@@ -41,6 +41,10 @@ type Logic struct {
 	alerts int
 	// reversals counts sense reversals.
 	reversals int
+	// multiQ is the per-threat query scratch of DecideMulti: the buffer
+	// crosses the indirect query call of multiCycle, so a stack array
+	// would escape and allocate every decision cycle.
+	multiQ [NumAdvisories]float64
 }
 
 // NewLogic creates an executive around a built or loaded table.

@@ -297,20 +297,7 @@ func (t *Table) AllQValues(dst *[NumAdvisories]float64, tau, h, dh0, dh1 float64
 func (t *Table) BestAdvisoryFast(tau, h, dh0, dh1 float64, ra Advisory, mask SenseMask) (Advisory, bool) {
 	var q [NumAdvisories]float64
 	t.AllQValues(&q, tau, h, dh0, dh1, ra)
-	best := COC
-	bestQ := math.Inf(-1)
-	found := false
-	for a := COC; a < NumAdvisories; a++ {
-		if !mask.Allows(a) {
-			continue
-		}
-		if q[a] > bestQ {
-			bestQ = q[a]
-			best = a
-			found = true
-		}
-	}
-	return best, found
+	return bestAllowed(&q, mask)
 }
 
 // BestAdvisory returns the advisory maximizing the interpolated Q value at

@@ -21,7 +21,7 @@ func goldenSpec() Spec {
 	s := DefaultSpec()
 	s.Name = "golden"
 	s.Presets = []string{"headon", "tailchase"}
-	s.Scenarios = []Scenario{{Name: "custom", Params: encounter.PresetCrossing()}}
+	s.Scenarios = []Scenario{{Name: "custom", Params: encounter.PresetCrossing().Multi()}}
 	s.ModelDraws = 1
 	s.Systems = []string{"none", "svo"}
 	s.Samples = 3
@@ -63,7 +63,7 @@ func TestAxisGrowthKeepsCellResults(t *testing.T) {
 	base := goldenSpec()
 	grown := goldenSpec()
 	grown.Scenarios = append(grown.Scenarios,
-		Scenario{Name: "appended", Params: encounter.PresetOvertake()})
+		Scenario{Name: "appended", Params: encounter.PresetOvertake().Multi()})
 
 	baseRes, err := Run(base, DefaultSystems(nil), nil)
 	if err != nil {
@@ -135,7 +135,7 @@ func TestExplicitScenarios(t *testing.T) {
 		func(s *Spec) {
 			p := encounter.PresetCrossing()
 			p.TimeToCPA = math.NaN()
-			s.Scenarios = []Scenario{{Name: "nan", Params: p}}
+			s.Scenarios = []Scenario{{Name: "nan", Params: p.Multi()}}
 		},
 	}
 	for i, mutate := range bad {

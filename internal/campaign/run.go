@@ -109,9 +109,17 @@ type CellResult struct {
 	Params []float64 `json:"params"`
 }
 
-// EncounterParams decodes the record's parameter vector.
+// EncounterParams decodes the record's parameter vector as a classic
+// pairwise encounter. It errors on multi-intruder cells (vector length
+// K*NumParams with K > 1); use MultiEncounterParams for those.
 func (c CellResult) EncounterParams() (encounter.Params, error) {
 	return encounter.FromVector(c.Params)
+}
+
+// MultiEncounterParams decodes the record's parameter vector as a
+// one-ownship, K-intruder encounter (the pairwise records decode as K = 1).
+func (c CellResult) MultiEncounterParams() (encounter.MultiParams, error) {
+	return encounter.MultiFromVector(c.Params)
 }
 
 // SystemSummary aggregates one (system, variant) pair across every
@@ -154,7 +162,7 @@ type cell struct {
 	index    int
 	scenario string
 	geometry string
-	params   encounter.Params
+	params   encounter.MultiParams
 	system   string
 	variant  Variant
 }
@@ -165,25 +173,27 @@ func (s Spec) cells() ([]cell, error) {
 	type scenario struct {
 		name     string
 		geometry string
-		params   encounter.Params
+		params   encounter.MultiParams
 	}
 	var scenarios []scenario
 	for _, name := range s.Presets {
-		p, err := encounter.Preset(name)
+		m, err := encounter.MultiPreset(name)
 		if err != nil {
 			return nil, err
 		}
-		scenarios = append(scenarios, scenario{name, encounter.Classify(p).Category.String(), p})
+		scenarios = append(scenarios, scenario{name, encounter.ClassifyMulti(m).Category.String(), m})
 	}
 	for _, sc := range s.Scenarios {
-		scenarios = append(scenarios, scenario{sc.Name, encounter.Classify(sc.Params).Category.String(), sc.Params})
+		scenarios = append(scenarios, scenario{sc.Name, encounter.ClassifyMulti(sc.Params).Category.String(), sc.Params})
 	}
-	model := s.model()
+	model := s.multiModel()
 	for i := 0; i < s.ModelDraws; i++ {
 		// Scenario draws derive from the campaign seed alone, so the same
-		// spec always sweeps the same sampled encounters.
-		p := model.Sample(stats.NewChildRNG(s.Seed^modelDrawSalt, i))
-		scenarios = append(scenarios, scenario{modelDrawName(i), encounter.Classify(p).Category.String(), p})
+		// spec always sweeps the same sampled encounters. A K of 1 draws
+		// the exact stream the classic pairwise sweeps did, keeping their
+		// JSONL byte-identical.
+		m := model.Sample(stats.NewChildRNG(s.Seed^modelDrawSalt, i))
+		scenarios = append(scenarios, scenario{modelDrawName(i), encounter.ClassifyMulti(m).Category.String(), m})
 	}
 	var cells []cell
 	for _, v := range s.variantsOrDefault() {
@@ -376,7 +386,7 @@ func runCell(spec Spec, c cell, factory montecarlo.SystemFactory, episodeWorkers
 		Seed:        cellSeed(spec.Seed, c),
 		Parallelism: episodeWorkers,
 	}
-	return montecarlo.EvaluateWithScratch(montecarlo.PointModel(c.params), factory, cfg, scratch)
+	return montecarlo.EvaluateMultiWithScratch(montecarlo.MultiPointModel(c.params), factory, cfg, scratch)
 }
 
 // summarize pools cells into per-(system, variant) aggregates and ranks

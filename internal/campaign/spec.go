@@ -78,17 +78,19 @@ func (v Variant) samples(base int) int {
 	return base
 }
 
-// Scenario is one explicit fixed encounter scenario: a name and the nine
-// encounter parameters. Explicit scenarios let a campaign replay encounters
-// that are not shipped presets — most importantly the entries of a danger
-// archive written by the adversarial search engine, closing the
-// sweep -> search -> archive -> sweep loop.
+// Scenario is one explicit fixed encounter scenario: a name and the
+// encounter parameters of its one-ownship, K-intruder geometry (a classic
+// pairwise scenario is the K = 1 case — wrap its Params with
+// encounter.Params.Multi). Explicit scenarios let a campaign replay
+// encounters that are not shipped presets — most importantly the entries
+// of a danger archive written by the adversarial search engine, closing
+// the sweep -> search -> archive -> sweep loop.
 type Scenario struct {
 	// Name labels the scenario in cell records (must be unique across the
 	// campaign's scenario axis).
 	Name string
 	// Params are the encounter parameters replayed by the scenario.
-	Params encounter.Params
+	Params encounter.MultiParams
 }
 
 // Spec declares a campaign: which scenarios to run, against which systems,
@@ -97,7 +99,10 @@ type Spec struct {
 	// Name labels the campaign in its output records.
 	Name string
 
-	// Presets are named encounter presets (encounter.PresetNames).
+	// Presets are named encounter presets: the pairwise names
+	// (encounter.PresetNames) and/or the multi-intruder names
+	// (encounter.MultiPresetNames), resolved through encounter.MultiPreset
+	// so one axis mixes both.
 	Presets []string
 	// Scenarios are explicit fixed scenarios appended after the presets
 	// (typically reloaded danger-archive entries).
@@ -108,6 +113,10 @@ type Spec struct {
 	// Model is the statistical encounter model sampled for ModelDraws.
 	// The zero value means the default UAV airspace model.
 	Model *montecarlo.EncounterModel
+	// Intruders is the intruder count K of each model-draw scenario
+	// (0 or 1 keeps the classic pairwise draws; presets and explicit
+	// scenarios carry their own K).
+	Intruders int
 
 	// Systems are the collision avoidance systems under test, by name
 	// (see DefaultSystems: none, acasx, belief, svo).
@@ -162,6 +171,28 @@ func (s Spec) model() montecarlo.EncounterModel {
 	return montecarlo.DefaultEncounterModel()
 }
 
+// intrudersOrDefault returns the model-draw intruder count (at least 1).
+func (s Spec) intrudersOrDefault() int {
+	if s.Intruders < 1 {
+		return 1
+	}
+	return s.Intruders
+}
+
+// multiModel returns the K-intruder model sampled for ModelDraws: the
+// pairwise model replicated across every intruder. A K of 1 samples the
+// exact stream the classic pairwise draws did.
+func (s Spec) multiModel() montecarlo.MultiEncounterModel {
+	base := s.model()
+	m := montecarlo.MultiEncounterModel{
+		Intruders: make([]montecarlo.EncounterModel, s.intrudersOrDefault()),
+	}
+	for i := range m.Intruders {
+		m.Intruders[i] = base
+	}
+	return m
+}
+
 // Validate checks the campaign declaration without running it.
 func (s Spec) Validate() error {
 	if s.Name == "" {
@@ -179,9 +210,12 @@ func (s Spec) Validate() error {
 			return fmt.Errorf("campaign: duplicate preset %q", name)
 		}
 		seenScenario[name] = true
-		if _, err := encounter.Preset(name); err != nil {
+		if _, err := encounter.MultiPreset(name); err != nil {
 			return fmt.Errorf("campaign: %w", err)
 		}
+	}
+	if s.Intruders < 0 {
+		return fmt.Errorf("campaign: negative intruder count %d", s.Intruders)
 	}
 	for _, sc := range s.Scenarios {
 		if sc.Name == "" {
@@ -191,6 +225,12 @@ func (s Spec) Validate() error {
 			return fmt.Errorf("campaign: duplicate scenario %q", sc.Name)
 		}
 		seenScenario[sc.Name] = true
+		// Params.Validate rejects the zero-intruder zero value and
+		// non-canonical shared-ownship forms here, with the scenario's
+		// name attached — not mid-sweep from an anonymous cell.
+		if err := sc.Params.Validate(); err != nil {
+			return fmt.Errorf("campaign: scenario %q: %w", sc.Name, err)
+		}
 		if !stats.AllFinite(sc.Params.Vector()...) {
 			return fmt.Errorf("campaign: scenario %q has a non-finite parameter", sc.Name)
 		}
@@ -253,8 +293,12 @@ func (s Spec) Validate() error {
 // (defaults from DefaultSpec):
 //
 //	campaign.name
-//	campaign.presets            comma list, or "all" for every named preset
+//	campaign.presets            comma list (pairwise and/or multi-intruder
+//	                            preset names), or "all" for every pairwise
+//	                            preset
 //	campaign.model.draws        sampled encounter-model scenarios
+//	campaign.intruders          intruder count K of each model draw
+//	                            (default 1, the classic pairwise draws)
 //	campaign.systems            comma list: none, acasx, belief, svo
 //	campaign.samples            simulations per cell
 //	campaign.seed
@@ -278,6 +322,9 @@ func FromConfig(c *config.Params) (Spec, error) {
 	}
 	var err error
 	if s.ModelDraws, err = c.IntOr("campaign.model.draws", 0); err != nil {
+		return s, err
+	}
+	if s.Intruders, err = c.IntOr("campaign.intruders", 0); err != nil {
 		return s, err
 	}
 	s.Systems = c.StringsOr("campaign.systems", s.Systems)

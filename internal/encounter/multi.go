@@ -1,0 +1,199 @@
+package encounter
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"strings"
+)
+
+// MultiParams describes a one-ownship, K-intruder encounter (K >= 1): one
+// Params entry per intruder, all sharing the ownship state of the first
+// entry. Each entry keeps the full nine-parameter pairwise description —
+// its own time to CPA, CPA offsets and intruder velocity — so a
+// K-intruder scenario is K pairwise conflicts converging on the same
+// ownship, possibly at staggered times. A single-intruder MultiParams is
+// exactly the classic pairwise encounter.
+//
+// The canonical (normalized) form repeats the shared ownship ground and
+// vertical speed in every entry; Normalized enforces it, and every decoder
+// (MultiFromVector) normalizes, so genome mutation of a non-leading
+// ownship gene cannot silently desynchronize the shared state.
+type MultiParams struct {
+	// Intruders holds one pairwise parameter set per intruder. Entry 0's
+	// OwnGroundSpeed/OwnVerticalSpeed define the shared ownship state.
+	Intruders []Params
+}
+
+// Multi wraps a pairwise encounter as a single-intruder MultiParams.
+func (p Params) Multi() MultiParams {
+	return MultiParams{Intruders: []Params{p}}
+}
+
+// MultiOf builds a normalized MultiParams from per-intruder parameter
+// sets; the first entry's ownship state is imposed on the rest.
+func MultiOf(intruders ...Params) MultiParams {
+	return MultiParams{Intruders: intruders}.Normalized()
+}
+
+// NumIntruders returns K.
+func (m MultiParams) NumIntruders() int { return len(m.Intruders) }
+
+// Normalized returns a copy whose every entry carries entry 0's ownship
+// ground and vertical speed — the canonical shared-ownship form. An empty
+// MultiParams normalizes to itself.
+func (m MultiParams) Normalized() MultiParams {
+	out := MultiParams{Intruders: append([]Params(nil), m.Intruders...)}
+	NormalizeShared(out.Intruders)
+	return out
+}
+
+// NormalizeShared imposes entry 0's ownship state on every entry, in
+// place. It is Normalized without the copy, for callers that own the
+// slice (the per-episode sampling scratch of the Monte-Carlo evaluator).
+func NormalizeShared(intruders []Params) {
+	if len(intruders) == 0 {
+		return
+	}
+	gs, vs := intruders[0].OwnGroundSpeed, intruders[0].OwnVerticalSpeed
+	for i := 1; i < len(intruders); i++ {
+		intruders[i].OwnGroundSpeed = gs
+		intruders[i].OwnVerticalSpeed = vs
+	}
+}
+
+// Validate checks that the encounter has at least one intruder and is in
+// canonical shared-ownship form.
+func (m MultiParams) Validate() error {
+	if len(m.Intruders) == 0 {
+		return fmt.Errorf("encounter: multi encounter has no intruders")
+	}
+	gs, vs := m.Intruders[0].OwnGroundSpeed, m.Intruders[0].OwnVerticalSpeed
+	for i := 1; i < len(m.Intruders); i++ {
+		if !sharedState(m.Intruders[i].OwnGroundSpeed, gs) || !sharedState(m.Intruders[i].OwnVerticalSpeed, vs) {
+			return fmt.Errorf("encounter: multi encounter intruder %d does not share the ownship state (call Normalized)", i)
+		}
+	}
+	return nil
+}
+
+// sharedState reports whether two copies of an ownship component agree.
+// NaN never reaches a simulation (stats.AllFinite guards every ingestion
+// point), but NormalizeShared copies it like any other value, so Validate
+// must treat a propagated NaN as shared — otherwise a decoder's output
+// could fail the canonical-form check it just enforced.
+func sharedState(x, y float64) bool {
+	return x == y || (x != x && y != y)
+}
+
+// MaxTimeToCPA returns the latest per-intruder time to CPA — the nominal
+// duration driver of a multi-intruder simulation. The maximum starts from
+// the first intruder, not zero, so a (nonsensical but representable)
+// negative time to CPA drives the same duration the pairwise engine used
+// for it — K = 1 bit-identity holds for every input, not just sensible
+// ones. An empty MultiParams returns 0.
+func (m MultiParams) MaxTimeToCPA() float64 {
+	if len(m.Intruders) == 0 {
+		return 0
+	}
+	max := m.Intruders[0].TimeToCPA
+	for _, p := range m.Intruders[1:] {
+		if p.TimeToCPA > max {
+			max = p.TimeToCPA
+		}
+	}
+	return max
+}
+
+// Vector returns the parameters as a fixed-order slice of length
+// K*NumParams: the genome layout of a K-intruder search, each intruder's
+// nine genes in Params.Vector order.
+func (m MultiParams) Vector() []float64 {
+	out := make([]float64, 0, len(m.Intruders)*NumParams)
+	for _, p := range m.Intruders {
+		out = append(out, p.Vector()...)
+	}
+	return out
+}
+
+// MultiFromVector decodes a genome of length K*NumParams (K >= 1) produced
+// by MultiParams.Vector, normalizing the shared ownship state from the
+// first block. Decoding is idempotent: decode(v).Vector() decodes back to
+// the identical MultiParams.
+func MultiFromVector(v []float64) (MultiParams, error) {
+	if len(v) == 0 || len(v)%NumParams != 0 {
+		return MultiParams{}, fmt.Errorf("encounter: multi genome has %d genes, want a positive multiple of %d", len(v), NumParams)
+	}
+	k := len(v) / NumParams
+	m := MultiParams{Intruders: make([]Params, k)}
+	for i := 0; i < k; i++ {
+		p, err := FromVector(v[i*NumParams : (i+1)*NumParams])
+		if err != nil {
+			return MultiParams{}, err
+		}
+		m.Intruders[i] = p
+	}
+	NormalizeShared(m.Intruders)
+	return m, nil
+}
+
+// String implements fmt.Stringer.
+func (m MultiParams) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "K=%d", len(m.Intruders))
+	for i, p := range m.Intruders {
+		fmt.Fprintf(&b, " [%d: %s]", i, p)
+	}
+	return b.String()
+}
+
+// MultiBounds returns the per-gene bounds of a K-intruder genome: the
+// pairwise bounds repeated K times in block order.
+func (r Ranges) MultiBounds(k int) (lo, hi []float64) {
+	bl, bh := r.Bounds()
+	lo = make([]float64, 0, k*NumParams)
+	hi = make([]float64, 0, k*NumParams)
+	for i := 0; i < k; i++ {
+		lo = append(lo, bl...)
+		hi = append(hi, bh...)
+	}
+	return lo, hi
+}
+
+// SampleMulti draws a K-intruder encounter uniformly from the ranges and
+// normalizes the shared ownship state from the first draw.
+func (r Ranges) SampleMulti(rng *rand.Rand, k int) MultiParams {
+	m := MultiParams{Intruders: make([]Params, k)}
+	for i := range m.Intruders {
+		m.Intruders[i] = r.Sample(rng)
+	}
+	NormalizeShared(m.Intruders)
+	return m
+}
+
+// ClampMulti limits every intruder block into the ranges, preserving the
+// canonical shared-ownship form (the shared state is clamped once, via
+// block 0).
+func (r Ranges) ClampMulti(m MultiParams) MultiParams {
+	out := MultiParams{Intruders: make([]Params, len(m.Intruders))}
+	for i, p := range m.Intruders {
+		out.Intruders[i] = r.Clamp(p)
+	}
+	NormalizeShared(out.Intruders)
+	return out
+}
+
+// ClassifyMulti classifies a multi-intruder encounter: every intruder is
+// classified pairwise against the shared ownship and the dominant
+// geometry — the intruder with the highest initial closure rate, i.e. the
+// most immediately converging threat — is returned. A single-intruder
+// encounter classifies exactly as its pairwise form.
+func ClassifyMulti(m MultiParams) Geometry {
+	var dominant Geometry
+	for i, p := range m.Intruders {
+		g := Classify(p)
+		if i == 0 || g.ClosureRate > dominant.ClosureRate {
+			dominant = g
+		}
+	}
+	return dominant
+}

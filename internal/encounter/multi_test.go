@@ -1,0 +1,259 @@
+package encounter
+
+// Multi-intruder encounter coverage plus the robustness edges of the
+// pairwise vector codec and ranges: FromVector error paths, Clamp/Contains
+// under NaN/±Inf, and a fuzzed MultiParams vector round trip.
+
+import (
+	"encoding/binary"
+	"math"
+	"strings"
+	"testing"
+
+	"acasxval/internal/stats"
+)
+
+func TestFromVectorErrorPaths(t *testing.T) {
+	for _, n := range []int{0, 1, NumParams - 1, NumParams + 1, 2 * NumParams} {
+		if _, err := FromVector(make([]float64, n)); err == nil {
+			t.Errorf("FromVector accepted %d genes", n)
+		}
+	}
+	if _, err := FromVector(make([]float64, NumParams)); err != nil {
+		t.Errorf("FromVector rejected a %d-gene vector: %v", NumParams, err)
+	}
+}
+
+func TestMultiFromVectorErrorPaths(t *testing.T) {
+	for _, n := range []int{0, 1, NumParams - 1, NumParams + 1, 3*NumParams - 1} {
+		if _, err := MultiFromVector(make([]float64, n)); err == nil {
+			t.Errorf("MultiFromVector accepted %d genes", n)
+		}
+	}
+	for k := 1; k <= 3; k++ {
+		m, err := MultiFromVector(make([]float64, k*NumParams))
+		if err != nil {
+			t.Fatalf("MultiFromVector rejected K=%d: %v", k, err)
+		}
+		if m.NumIntruders() != k {
+			t.Errorf("K = %d, want %d", m.NumIntruders(), k)
+		}
+		if err := m.Validate(); err != nil {
+			t.Errorf("decoded K=%d encounter not canonical: %v", k, err)
+		}
+	}
+}
+
+func TestMultiFromVectorNormalizesSharedOwnship(t *testing.T) {
+	a, b := PresetHeadOn(), PresetCrossing()
+	b.OwnGroundSpeed, b.OwnVerticalSpeed = 99, -9 // desynchronized on purpose
+	v := append(a.Vector(), b.Vector()...)
+	m, err := MultiFromVector(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Intruders[1]; got.OwnGroundSpeed != a.OwnGroundSpeed ||
+		got.OwnVerticalSpeed != a.OwnVerticalSpeed {
+		t.Errorf("intruder 1 ownship = (%v, %v), want block 0's (%v, %v)",
+			got.OwnGroundSpeed, got.OwnVerticalSpeed, a.OwnGroundSpeed, a.OwnVerticalSpeed)
+	}
+}
+
+func TestMaxTimeToCPA(t *testing.T) {
+	a, b := PresetHeadOn(), PresetCrossing()
+	a.TimeToCPA, b.TimeToCPA = 30, 45
+	if got := MultiOf(a, b).MaxTimeToCPA(); got != 45 {
+		t.Errorf("MaxTimeToCPA = %v, want 45", got)
+	}
+	// A negative time to CPA must drive the same (negative) duration the
+	// pairwise engine used, not floor at zero — K = 1 bit-identity covers
+	// every representable input.
+	a.TimeToCPA = -5
+	if got := a.Multi().MaxTimeToCPA(); got != -5 {
+		t.Errorf("MaxTimeToCPA of negative pairwise T = %v, want -5", got)
+	}
+	if got := (MultiParams{}).MaxTimeToCPA(); got != 0 {
+		t.Errorf("MaxTimeToCPA of empty = %v, want 0", got)
+	}
+}
+
+func TestRangeContainsNonFinite(t *testing.T) {
+	r := Range{Min: -1, Max: 1}
+	for _, x := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if r.Contains(x) {
+			t.Errorf("Contains(%v) = true", x)
+		}
+	}
+}
+
+func TestRangeClampNonFinite(t *testing.T) {
+	r := Range{Min: -1, Max: 1}
+	if got := r.Clamp(math.Inf(1)); got != r.Max {
+		t.Errorf("Clamp(+Inf) = %v, want %v", got, r.Max)
+	}
+	if got := r.Clamp(math.Inf(-1)); got != r.Min {
+		t.Errorf("Clamp(-Inf) = %v, want %v", got, r.Min)
+	}
+	// NaN is neither below Min nor above Max, so Clamp passes it through
+	// unchanged; finiteness is the caller's contract (stats.AllFinite guards
+	// every genome/scenario ingestion point). The test pins that behavior so
+	// a change shows up as an explicit decision, not an accident.
+	if got := r.Clamp(math.NaN()); !math.IsNaN(got) {
+		t.Errorf("Clamp(NaN) = %v, want NaN", got)
+	}
+}
+
+func TestRangesClampNonFiniteParams(t *testing.T) {
+	ranges := DefaultRanges()
+	lo, hi := ranges.Bounds()
+	inf := Params{
+		OwnGroundSpeed: math.Inf(1), OwnVerticalSpeed: math.Inf(-1),
+		TimeToCPA: math.Inf(1), HorizontalMissDistance: math.Inf(1),
+		ApproachAngle: math.Inf(-1), VerticalMissDistance: math.Inf(1),
+		IntruderGroundSpeed: math.Inf(-1), IntruderBearing: math.Inf(1),
+		IntruderVerticalSpeed: math.Inf(-1),
+	}
+	v := ranges.Clamp(inf).Vector()
+	for i := range v {
+		if v[i] < lo[i] || v[i] > hi[i] {
+			t.Errorf("gene %d = %v not clamped into [%v, %v]", i, v[i], lo[i], hi[i])
+		}
+	}
+
+	nan := Params{OwnGroundSpeed: math.NaN()}
+	if got := ranges.Clamp(nan).OwnGroundSpeed; !math.IsNaN(got) {
+		t.Errorf("Clamp of NaN gene = %v, want NaN passed through", got)
+	}
+	if stats.AllFinite(ranges.Clamp(nan).Vector()...) {
+		t.Error("AllFinite missed the NaN a Clamp cannot remove")
+	}
+}
+
+func TestClampMultiSharedOwnship(t *testing.T) {
+	ranges := DefaultRanges()
+	a, b := PresetHeadOn(), PresetTailApproach()
+	a.OwnGroundSpeed = 1e9 // clamps to the shared Max
+	m := ranges.ClampMulti(MultiParams{Intruders: []Params{a, b}})
+	if err := m.Validate(); err != nil {
+		t.Fatalf("ClampMulti broke canonical form: %v", err)
+	}
+	if got, max := m.Intruders[1].OwnGroundSpeed, ranges.OwnGroundSpeed.Max; got != max {
+		t.Errorf("shared ownship speed = %v, want clamped %v", got, max)
+	}
+}
+
+func TestMultiBoundsTiling(t *testing.T) {
+	lo1, hi1 := DefaultRanges().Bounds()
+	lo3, hi3 := DefaultRanges().MultiBounds(3)
+	if len(lo3) != 3*NumParams || len(hi3) != 3*NumParams {
+		t.Fatalf("MultiBounds(3) lengths %d/%d, want %d", len(lo3), len(hi3), 3*NumParams)
+	}
+	for i := range lo3 {
+		if lo3[i] != lo1[i%NumParams] || hi3[i] != hi1[i%NumParams] {
+			t.Errorf("gene %d bounds [%v, %v] do not tile the pairwise bounds", i, lo3[i], hi3[i])
+		}
+	}
+}
+
+func TestSampleMultiWithinRangesSharedOwnship(t *testing.T) {
+	ranges := DefaultRanges()
+	rng := stats.NewRNG(7)
+	for trial := 0; trial < 100; trial++ {
+		m := ranges.SampleMulti(rng, 3)
+		if err := m.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		lo, hi := ranges.MultiBounds(3)
+		for i, x := range m.Vector() {
+			// The shared ownship overwrite copies block 0's draw, which is
+			// itself in range, so every gene stays within bounds.
+			if x < lo[i] || x > hi[i] {
+				t.Fatalf("trial %d: gene %d = %v outside [%v, %v]", trial, i, x, lo[i], hi[i])
+			}
+		}
+	}
+}
+
+func TestMultiPresetLookup(t *testing.T) {
+	names := MultiPresetNames()
+	if len(names) < 3 {
+		t.Fatalf("MultiPresetNames = %v, want at least the three shipped presets", names)
+	}
+	for _, name := range names {
+		m, err := MultiPreset(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.NumIntruders() < 2 {
+			t.Errorf("%s: K = %d, want a genuinely multi-intruder preset", name, m.NumIntruders())
+		}
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	// The multi resolver must also accept every pairwise preset as K = 1.
+	for _, name := range PresetNames() {
+		m, err := MultiPreset(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.NumIntruders() != 1 {
+			t.Errorf("%s: K = %d, want 1", name, m.NumIntruders())
+		}
+	}
+	if _, err := MultiPreset("no-such-preset"); err == nil ||
+		!strings.Contains(err.Error(), "no-such-preset") {
+		t.Errorf("unknown preset error = %v, want it to name the preset", err)
+	}
+}
+
+// FuzzMultiVectorRoundTrip feeds arbitrary byte strings reinterpreted as
+// float64 genomes through the multi decoder: any length that is not a
+// positive multiple of NumParams must error, everything else must decode
+// and round-trip idempotently (decode(v).Vector() decodes to the bit-exact
+// same vector — including NaN payloads, hence the bit-level compare).
+func FuzzMultiVectorRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(make([]byte, 8*NumParams))
+	f.Add(make([]byte, 8*2*NumParams+3))
+	seed := MultiOf(PresetHeadOn(), PresetCrossing(), PresetTailApproach()).Vector()
+	raw := make([]byte, 8*len(seed))
+	for i, x := range seed {
+		binary.LittleEndian.PutUint64(raw[8*i:], math.Float64bits(x))
+	}
+	f.Add(raw)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v := make([]float64, len(data)/8)
+		for i := range v {
+			v[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[8*i:]))
+		}
+		m, err := MultiFromVector(v)
+		if len(v) == 0 || len(v)%NumParams != 0 {
+			if err == nil {
+				t.Fatalf("MultiFromVector accepted %d genes", len(v))
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("MultiFromVector rejected %d genes: %v", len(v), err)
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("decoded encounter not canonical: %v", err)
+		}
+		once := m.Vector()
+		if len(once) != len(v) {
+			t.Fatalf("Vector length %d, want %d", len(once), len(v))
+		}
+		m2, err := MultiFromVector(once)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		twice := m2.Vector()
+		for i := range once {
+			if math.Float64bits(once[i]) != math.Float64bits(twice[i]) {
+				t.Fatalf("gene %d not idempotent: %v -> %v", i, once[i], twice[i])
+			}
+		}
+	})
+}

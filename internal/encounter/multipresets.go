@@ -1,0 +1,137 @@
+package encounter
+
+import (
+	"fmt"
+	"math"
+
+	"acasxval/internal/geom"
+)
+
+// Multi-intruder presets: named canonical K-intruder encounters for the
+// regimes integrated-airspace traffic produces and pairwise validation
+// never exercises — simultaneous convergence, staggered crossing streams,
+// and vertical pincers where every escape direction is contested.
+
+// MultiPresetConvergingPair is a simultaneous two-sided convergence: two
+// intruders cross the ownship's track from opposite sides, both reaching
+// their CPA with the ownship at the same instant. Resolving either
+// conflict alone is easy; resolving both at once forces the multi-threat
+// fusion to pick a sense that is safe against a pair of opposed crossing
+// geometries.
+func MultiPresetConvergingPair() MultiParams {
+	left := Params{
+		OwnGroundSpeed:         45,
+		OwnVerticalSpeed:       0,
+		TimeToCPA:              30,
+		HorizontalMissDistance: 40,
+		ApproachAngle:          math.Pi / 2,
+		VerticalMissDistance:   5,
+		IntruderGroundSpeed:    45,
+		IntruderBearing:        3 * math.Pi / 2, // crossing right-to-left
+		IntruderVerticalSpeed:  0,
+	}
+	right := Params{
+		OwnGroundSpeed:         45,
+		OwnVerticalSpeed:       0,
+		TimeToCPA:              30,
+		HorizontalMissDistance: 40,
+		ApproachAngle:          3 * math.Pi / 2,
+		VerticalMissDistance:   -5,
+		IntruderGroundSpeed:    45,
+		IntruderBearing:        math.Pi / 2, // crossing left-to-right
+		IntruderVerticalSpeed:  0,
+	}
+	return MultiOf(left, right)
+}
+
+// MultiPresetCrossingStream is a stream of three perpendicular crossers
+// reaching their CPAs at staggered times (24, 30 and 36 s): the ownship
+// resolves the first conflict only to fly into the next, the sequential
+// re-conflict pattern a single-encounter validation can never produce.
+func MultiPresetCrossingStream() MultiParams {
+	stream := make([]Params, 0, 3)
+	for i, t := range []float64{24, 30, 36} {
+		stream = append(stream, Params{
+			OwnGroundSpeed:         45,
+			OwnVerticalSpeed:       0,
+			TimeToCPA:              t,
+			HorizontalMissDistance: 30 + 20*float64(i),
+			ApproachAngle:          math.Pi / 4,
+			VerticalMissDistance:   0,
+			IntruderGroundSpeed:    40,
+			IntruderBearing:        math.Pi / 2, // all crossing from the same side
+			IntruderVerticalSpeed:  0,
+		})
+	}
+	return MultiOf(stream...)
+}
+
+// MultiPresetSandwich is a vertical pincer: one intruder descends onto the
+// ownship from above while another climbs into it from below, both
+// head-on, CPAs coinciding. A climb advisory trades the lower conflict
+// for the upper one and vice versa — the geometry that makes
+// most-restrictive-first fusion (and its coordination masks) earn its
+// keep.
+func MultiPresetSandwich() MultiParams {
+	above := Params{
+		OwnGroundSpeed:         50,
+		OwnVerticalSpeed:       0,
+		TimeToCPA:              30,
+		HorizontalMissDistance: 20,
+		ApproachAngle:          math.Pi / 2,
+		VerticalMissDistance:   0.6 * geom.NMACVertical, // ends just above
+		IntruderGroundSpeed:    50,
+		IntruderBearing:        math.Pi, // head-on
+		IntruderVerticalSpeed:  -3,      // descending through own altitude
+	}
+	below := Params{
+		OwnGroundSpeed:         50,
+		OwnVerticalSpeed:       0,
+		TimeToCPA:              30,
+		HorizontalMissDistance: 20,
+		ApproachAngle:          3 * math.Pi / 2,
+		VerticalMissDistance:   -0.6 * geom.NMACVertical, // ends just below
+		IntruderGroundSpeed:    50,
+		IntruderBearing:        math.Pi,
+		IntruderVerticalSpeed:  3, // climbing through own altitude
+	}
+	return MultiOf(above, below)
+}
+
+// multiPresetRegistry maps multi-intruder preset names to constructors, in
+// the order MultiPresetNames reports them.
+var multiPresetRegistry = []struct {
+	name string
+	fn   func() MultiParams
+}{
+	{"convergepair", MultiPresetConvergingPair},
+	{"crossstream", MultiPresetCrossingStream},
+	{"sandwich", MultiPresetSandwich},
+}
+
+// MultiPreset looks up a named encounter preset as a MultiParams: the
+// multi-intruder presets by their own names, and every pairwise preset
+// (Preset) wrapped as a single-intruder encounter, so one name space
+// covers both.
+func MultiPreset(name string) (MultiParams, error) {
+	for _, e := range multiPresetRegistry {
+		if e.name == name {
+			return e.fn(), nil
+		}
+	}
+	if p, err := Preset(name); err == nil {
+		return p.Multi(), nil
+	}
+	return MultiParams{}, fmt.Errorf("encounter: unknown preset %q (want one of %v or %v)",
+		name, MultiPresetNames(), PresetNames())
+}
+
+// MultiPresetNames lists the multi-intruder presets (pairwise preset names
+// also resolve through MultiPreset).
+func MultiPresetNames() []string {
+	names := make([]string, len(multiPresetRegistry))
+	for i, e := range multiPresetRegistry {
+		names[i] = e.name
+	}
+	return names
+}

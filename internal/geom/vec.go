@@ -10,6 +10,13 @@ type Vec3 struct {
 	X, Y, Z float64
 }
 
+// Track is a surveillance track: an estimated position and velocity of one
+// observed aircraft. It is the unit a multi-threat decision cycle consumes
+// — one Track per intruder in view.
+type Track struct {
+	Pos, Vel Vec3
+}
+
 // Add returns v + o.
 func (v Vec3) Add(o Vec3) Vec3 { return Vec3{X: v.X + o.X, Y: v.Y + o.Y, Z: v.Z + o.Z} }
 

@@ -16,7 +16,10 @@ import (
 // concurrently) and reuses the returned pair across every episode that
 // worker runs, Reset before each one — so a System's Reset must restore
 // the complete pre-encounter state, or episodes would leak into each other
-// and break the evaluator's worker-count invariance.
+// and break the evaluator's worker-count invariance. For K-intruder
+// evaluations the factory is called K times per worker (the first call
+// supplies the ownship and intruder 1, each further call one more
+// intruder), so every aircraft owns an independent system instance.
 type SystemFactory func() (own, intruder sim.System)
 
 // Unequipped is the no-avoidance baseline factory.
@@ -132,22 +135,25 @@ func (s *Scratch) world(i int) *world {
 const dynamicsSalt = 0xABCD
 
 // world is one worker's fully-wired, reusable episode engine: a simulation
-// runner (two aircraft, trackers, monitors, clock, RNG streams), the
-// system pair under test, a reseedable encounter-sampling RNG and the
-// parameter draw buffer. Once prepared, simulating an episode performs no
-// allocation.
+// runner (the aircraft fleet, trackers, monitors, clock, RNG streams), one
+// system per aircraft under test, a reseedable encounter-sampling RNG and
+// the parameter draw buffers. Once prepared, simulating an episode
+// performs no allocation.
 type world struct {
-	runner *sim.Runner
-	own    sim.System
-	intr   sim.System
-	rng    stats.ReseedableRNG
-	buf    [encounter.NumParams]float64
+	runner  *sim.Runner
+	systems []sim.System
+	rng     stats.ReseedableRNG
+	buf     [encounter.NumParams]float64
+	// params is the per-episode encounter scratch: one entry per intruder,
+	// refilled by every sample.
+	params []encounter.Params
 }
 
-// prepare (re)wires the world for one Evaluate call. The runner is rebuilt
-// only when the run configuration changed; the systems are always taken
-// fresh from the factory, since factories may close over per-call state.
-func (w *world) prepare(run sim.RunConfig, factory SystemFactory) error {
+// prepare (re)wires the world for one Evaluate call over k-intruder
+// encounters. The runner is rebuilt only when the run configuration
+// changed; the systems are always taken fresh from the factory, since
+// factories may close over per-call state.
+func (w *world) prepare(run sim.RunConfig, factory SystemFactory, k int) error {
 	if w.runner == nil {
 		r, err := sim.NewRunner(run)
 		if err != nil {
@@ -157,17 +163,21 @@ func (w *world) prepare(run sim.RunConfig, factory SystemFactory) error {
 	} else if err := w.runner.Reconfigure(run); err != nil {
 		return err
 	}
-	w.own, w.intr = factory()
+	w.systems = sim.AppendSystemsFromPair(w.systems[:0], factory, k)
+	if cap(w.params) < k {
+		w.params = make([]encounter.Params, k)
+	}
+	w.params = w.params[:k]
 	return nil
 }
 
 // simulate runs episode i: sample the encounter and simulate it, both from
 // RNG streams derived counter-style from (cfg.Seed, i) — fully reproducible
 // and independent of which worker runs which episode.
-func (w *world) simulate(model *EncounterModel, cfg *Config, i int, out []outcome) {
+func (w *world) simulate(model *MultiEncounterModel, cfg *Config, i int, out []outcome) {
 	rng := w.rng.SeedChild(cfg.Seed, i)
-	p := model.SampleInto(rng, &w.buf)
-	res, err := w.runner.Run(p, w.own, w.intr, stats.DeriveSeed(cfg.Seed^dynamicsSalt, i))
+	m := model.SampleInto(rng, &w.buf, w.params)
+	res, err := w.runner.RunMulti(m, w.systems, stats.DeriveSeed(cfg.Seed^dynamicsSalt, i))
 	if err != nil {
 		out[i] = outcome{err: err}
 		return
@@ -175,7 +185,7 @@ func (w *world) simulate(model *EncounterModel, cfg *Config, i int, out []outcom
 	out[i] = outcome{
 		nmac:    res.NMAC,
 		alerted: res.Alerted(),
-		alerts:  res.OwnAlerts + res.IntruderAlerts,
+		alerts:  res.TotalAlerts(),
 		minSep:  res.MinSeparation,
 	}
 }
@@ -186,6 +196,14 @@ func (w *world) simulate(model *EncounterModel, cfg *Config, i int, out []outcom
 // worker count.
 func Evaluate(model EncounterModel, factory SystemFactory, cfg Config) (*Estimate, error) {
 	return EvaluateWithScratch(model, factory, cfg, nil)
+}
+
+// EvaluateMulti estimates event probabilities against a multi-intruder
+// encounter model: every episode samples one ownship + K intruders and
+// simulates all pairwise conflicts in one closed-loop world. Determinism
+// and worker-count invariance match Evaluate's.
+func EvaluateMulti(model MultiEncounterModel, factory SystemFactory, cfg Config) (*Estimate, error) {
+	return EvaluateMultiWithScratch(model, factory, cfg, nil)
 }
 
 // episodeBatch is how many consecutive episodes a worker claims per
@@ -199,8 +217,17 @@ const episodeBatch = 8
 // episode. The returned estimate is identical to Evaluate's: every
 // episode's RNG streams derive counter-style from (cfg.Seed, index), so the
 // estimate is bit-identical regardless of cfg.Parallelism and of which
-// worker runs which episode.
+// worker runs which episode. It is the single-intruder case of
+// EvaluateMultiWithScratch; a one-model wrap samples and simulates the
+// exact classic stream.
 func EvaluateWithScratch(model EncounterModel, factory SystemFactory, cfg Config, scratch *Scratch) (*Estimate, error) {
+	return EvaluateMultiWithScratch(MultiEncounterModel{Intruders: []EncounterModel{model}}, factory, cfg, scratch)
+}
+
+// EvaluateMultiWithScratch is EvaluateMulti with caller-owned state reuse
+// (see EvaluateWithScratch); at a steady intruder count the per-episode
+// steady state allocates nothing.
+func EvaluateMultiWithScratch(model MultiEncounterModel, factory SystemFactory, cfg Config, scratch *Scratch) (*Estimate, error) {
 	if err := model.Validate(); err != nil {
 		return nil, err
 	}
@@ -237,7 +264,7 @@ func EvaluateWithScratch(model EncounterModel, factory SystemFactory, cfg Config
 	worlds := make([]*world, workers)
 	for i := range worlds {
 		worlds[i] = scratch.world(i)
-		if err := worlds[i].prepare(cfg.Run, factory); err != nil {
+		if err := worlds[i].prepare(cfg.Run, factory, model.NumIntruders()); err != nil {
 			return nil, err
 		}
 	}

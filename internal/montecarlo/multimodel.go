@@ -1,0 +1,92 @@
+package montecarlo
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"acasxval/internal/encounter"
+)
+
+// MultiEncounterModel is the statistical model of a one-ownship,
+// K-intruder airspace: one pairwise EncounterModel per intruder, sampled
+// independently and then normalized onto the shared ownship state of the
+// first draw (encounter.NormalizeShared). A single-intruder model samples
+// exactly the stream its pairwise EncounterModel does, which is what keeps
+// the classic evaluation path bit-identical when routed through the multi
+// engine.
+type MultiEncounterModel struct {
+	// Intruders holds one pairwise model per intruder; entry 0's ownship
+	// draws define the shared ownship state.
+	Intruders []EncounterModel
+}
+
+// DefaultMultiEncounterModel returns k independent copies of the default
+// UAV airspace model — a plausible stand-in for integrated-airspace traffic
+// where every intruder is drawn from the same fleet mix.
+func DefaultMultiEncounterModel(k int) MultiEncounterModel {
+	m := MultiEncounterModel{Intruders: make([]EncounterModel, k)}
+	for i := range m.Intruders {
+		m.Intruders[i] = DefaultEncounterModel()
+	}
+	return m
+}
+
+// MultiPointModel returns the degenerate model that always yields the given
+// multi-intruder encounter — the per-cell workload of a multi-intruder
+// campaign sweep and the fitness evaluation of a K-intruder genome.
+func MultiPointModel(m encounter.MultiParams) MultiEncounterModel {
+	out := MultiEncounterModel{Intruders: make([]EncounterModel, len(m.Intruders))}
+	for i, p := range m.Intruders {
+		out.Intruders[i] = PointModel(p)
+	}
+	return out
+}
+
+// NumIntruders returns K.
+func (m MultiEncounterModel) NumIntruders() int { return len(m.Intruders) }
+
+// Validate checks every intruder model.
+func (m MultiEncounterModel) Validate() error {
+	if len(m.Intruders) == 0 {
+		return fmt.Errorf("montecarlo: multi encounter model has no intruders")
+	}
+	for i, em := range m.Intruders {
+		if err := em.Validate(); err != nil {
+			if len(m.Intruders) == 1 {
+				return err
+			}
+			return fmt.Errorf("montecarlo: intruder model %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Prepared returns a copy with every intruder model's mixture caches
+// precomputed, so per-episode draws never re-sum mixture weights.
+func (m MultiEncounterModel) Prepared() MultiEncounterModel {
+	out := MultiEncounterModel{Intruders: make([]EncounterModel, len(m.Intruders))}
+	for i, em := range m.Intruders {
+		out.Intruders[i] = em.Prepared()
+	}
+	return out
+}
+
+// SampleInto draws one multi-intruder encounter, writing intruder i's
+// clamped parameters into dst[i] (len(dst) must equal NumIntruders) and
+// using buf as the per-intruder raw-draw scratch. The returned MultiParams
+// aliases dst — no allocation, the per-episode path of the evaluator. The
+// shared ownship state is normalized from the first draw in place.
+func (m *MultiEncounterModel) SampleInto(rng *rand.Rand, buf *[encounter.NumParams]float64, dst []encounter.Params) encounter.MultiParams {
+	for i := range m.Intruders {
+		dst[i] = m.Intruders[i].SampleInto(rng, buf)
+	}
+	encounter.NormalizeShared(dst)
+	return encounter.MultiParams{Intruders: dst}
+}
+
+// Sample draws one multi-intruder encounter from the model.
+func (m MultiEncounterModel) Sample(rng *rand.Rand) encounter.MultiParams {
+	var buf [encounter.NumParams]float64
+	dst := make([]encounter.Params, len(m.Intruders))
+	return m.SampleInto(rng, &buf, dst)
+}

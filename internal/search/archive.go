@@ -39,9 +39,17 @@ type ArchiveEntry struct {
 	Params []float64 `json:"params"`
 }
 
-// EncounterParams decodes the entry's parameter vector.
+// EncounterParams decodes the entry's parameter vector as a classic
+// pairwise encounter. It errors on multi-intruder entries (vector length
+// K*NumParams with K > 1); use MultiEncounterParams for those.
 func (e ArchiveEntry) EncounterParams() (encounter.Params, error) {
 	return encounter.FromVector(e.Params)
+}
+
+// MultiEncounterParams decodes the entry's parameter vector as a
+// one-ownship, K-intruder encounter (pairwise entries decode as K = 1).
+func (e ArchiveEntry) MultiEncounterParams() (encounter.MultiParams, error) {
+	return encounter.MultiFromVector(e.Params)
 }
 
 // validate checks an entry's structural invariants (shared by the JSONL
@@ -50,8 +58,8 @@ func (e ArchiveEntry) validate() error {
 	if e.Name == "" {
 		return fmt.Errorf("search: archive entry with empty name")
 	}
-	if len(e.Params) != encounter.NumParams {
-		return fmt.Errorf("search: archive entry %q has %d params, want %d",
+	if len(e.Params) == 0 || len(e.Params)%encounter.NumParams != 0 {
+		return fmt.Errorf("search: archive entry %q has %d params, want a positive multiple of %d",
 			e.Name, len(e.Params), encounter.NumParams)
 	}
 	if !stats.AllFinite(e.Params...) {
@@ -218,11 +226,11 @@ func CampaignScenarios(entries []ArchiveEntry) ([]campaign.Scenario, error) {
 			return nil, fmt.Errorf("search: duplicate archive entry name %q", e.Name)
 		}
 		seen[e.Name] = true
-		p, err := e.EncounterParams()
+		m, err := e.MultiEncounterParams()
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, campaign.Scenario{Name: e.Name, Params: p})
+		out = append(out, campaign.Scenario{Name: e.Name, Params: m})
 	}
 	return out, nil
 }

@@ -72,6 +72,11 @@ func (s Spec) Fingerprint() string {
 	lo, hi := s.Ranges.Bounds()
 	h := fnv.New64a()
 	fmt.Fprintf(h, "%s|islands=%d|k=%d|m=%d|seed=%d", s.Name, s.Islands, s.MigrationInterval, s.MigrationSize, s.Seed)
+	// The intruder count reshapes the whole genome; fingerprint it only when
+	// multi-intruder so every pre-existing pairwise checkpoint still resumes.
+	if s.NumIntruders() > 1 {
+		fmt.Fprintf(h, "|intruders=%d", s.NumIntruders())
+	}
 	fmt.Fprintf(h, "|pop=%d|gens=%d|sel=%d|tsize=%d|xover=%d|xprob=%g|mprob=%g|msigma=%g|elites=%d",
 		s.GA.PopulationSize, s.GA.Generations, s.GA.Selection, s.GA.TournamentSize,
 		s.GA.Crossover, s.GA.CrossoverProb, s.GA.MutationProb, s.GA.MutationSigmaFrac, s.GA.Elites)
@@ -125,8 +130,8 @@ func (c *Checkpoint) validate() error {
 			return fmt.Errorf("search: checkpoint island %d has an empty population", i)
 		}
 		for j, ind := range isl.Population {
-			if len(ind.Genome) != encounter.NumParams {
-				return fmt.Errorf("search: checkpoint island %d individual %d has %d genes, want %d",
+			if len(ind.Genome) == 0 || len(ind.Genome)%encounter.NumParams != 0 {
+				return fmt.Errorf("search: checkpoint island %d individual %d has %d genes, want a positive multiple of %d",
 					i, j, len(ind.Genome), encounter.NumParams)
 			}
 			if err := finiteCheck("genome gene", ind.Genome...); err != nil {
@@ -141,8 +146,8 @@ func (c *Checkpoint) validate() error {
 				return fmt.Errorf("search: checkpoint island %d history entry %d labeled generation %d",
 					i, j, gs.Generation)
 			}
-			if len(gs.Best.Genome) != 0 && len(gs.Best.Genome) != encounter.NumParams {
-				return fmt.Errorf("search: checkpoint island %d history entry %d best genome has %d genes, want %d",
+			if len(gs.Best.Genome) != 0 && len(gs.Best.Genome)%encounter.NumParams != 0 {
+				return fmt.Errorf("search: checkpoint island %d history entry %d best genome has %d genes, want a multiple of %d",
 					i, j, len(gs.Best.Genome), encounter.NumParams)
 			}
 			if err := finiteCheck("generation stats", gs.Min, gs.Mean, gs.Max, gs.Best.Fitness); err != nil {
@@ -292,6 +297,10 @@ func (e *engine) restore(c *Checkpoint) error {
 		isl := &island{id: i, seed: ci.Seed}
 		isl.pop = make(ga.Population, len(ci.Population))
 		for j, ind := range ci.Population {
+			if len(ind.Genome) != e.spec.GenomeLen() {
+				return fmt.Errorf("search: checkpoint island %d individual %d has %d genes, spec wants %d",
+					i, j, len(ind.Genome), e.spec.GenomeLen())
+			}
 			isl.pop[j] = ga.Individual{
 				Genome:    append([]float64(nil), ind.Genome...),
 				Fitness:   ind.Fitness,

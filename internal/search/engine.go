@@ -64,7 +64,9 @@ type Options struct {
 
 // Best is the fittest encounter a search found.
 type Best struct {
-	Params   encounter.Params
+	// Params is the decoded one-ownship, K-intruder encounter (K = 1 for
+	// the classic pairwise search).
+	Params   encounter.MultiParams
 	Fitness  float64
 	Geometry encounter.Geometry
 	// Island and Generation locate the discovery.
@@ -128,7 +130,7 @@ func Run(spec Spec, factory core.SystemFactory, opts Options) (*Result, error) {
 	if factory == nil {
 		return nil, fmt.Errorf("search: nil system factory")
 	}
-	lo, hi := spec.Ranges.Bounds()
+	lo, hi := spec.Ranges.MultiBounds(spec.NumIntruders())
 	bounds, err := ga.NewBounds(lo, hi)
 	if err != nil {
 		return nil, err
@@ -220,6 +222,12 @@ func (e *engine) initialize() {
 			break
 		}
 		genome := append([]float64(nil), g...)
+		// A pairwise seed in a K-intruder search tiles to K converging
+		// copies of itself — the sweep's worst pairwise conflict posed
+		// simultaneously by every intruder.
+		for len(genome) < e.bounds.Len() {
+			genome = append(genome, g...)
+		}
 		e.bounds.Clamp(genome)
 		isl.pop[slot] = ga.Individual{Genome: genome}
 	}
@@ -302,7 +310,7 @@ func (e *engine) evaluateIsland(isl *island, gen int, factory core.SystemFactory
 		}
 		evals++
 		seed := stats.DeriveSeed(isl.seed, gen*popSize+i)
-		p, err := encounter.FromVector(isl.pop[i].Genome)
+		m, err := encounter.MultiFromVector(isl.pop[i].Genome)
 		if err != nil {
 			// A corrupt genome scores zero instead of halting a long
 			// search (mirrors core.Evaluator.Evaluate).
@@ -310,8 +318,8 @@ func (e *engine) evaluateIsland(isl *island, gen int, factory core.SystemFactory
 			isl.pop[i].Evaluated = true
 			continue
 		}
-		p = e.spec.Ranges.Clamp(p)
-		fitness, est, err := evaluateEncounter(p, seed, e.spec.Fitness, factory, e.episodeWorkers, &isl.scratch)
+		m = e.spec.Ranges.ClampMulti(m)
+		fitness, est, err := evaluateEncounter(m, seed, e.spec.Fitness, factory, e.episodeWorkers, &isl.scratch)
 		if err != nil {
 			return nil, 0, err
 		}
@@ -322,11 +330,11 @@ func (e *engine) evaluateIsland(isl *island, gen int, factory core.SystemFactory
 				Fitness:    fitness,
 				PNMAC:      est.PNMAC,
 				MeanMinSep: est.MeanMinSeparation,
-				Geometry:   encounter.Classify(p).Category.String(),
+				Geometry:   encounter.ClassifyMulti(m).Category.String(),
 				Island:     isl.id,
 				Generation: gen,
 				Index:      i,
-				Params:     p.Vector(),
+				Params:     m.Vector(),
 			})
 		}
 	}
@@ -338,14 +346,14 @@ func (e *engine) evaluateIsland(isl *island, gen int, factory core.SystemFactory
 // seed-derived stochastic dynamics and sensor noise, scored by the paper's
 // fitness = gain * mean(1 / (1 + d_k)). episodeWorkers is the per-batch
 // episode parallelism layered on top of the island goroutines.
-func evaluateEncounter(p encounter.Params, seed uint64, fit core.FitnessConfig, factory core.SystemFactory, episodeWorkers int, scratch *montecarlo.Scratch) (float64, *montecarlo.Estimate, error) {
+func evaluateEncounter(m encounter.MultiParams, seed uint64, fit core.FitnessConfig, factory core.SystemFactory, episodeWorkers int, scratch *montecarlo.Scratch) (float64, *montecarlo.Estimate, error) {
 	cfg := montecarlo.Config{
 		Samples:     fit.SimsPerEncounter,
 		Run:         fit.Run,
 		Seed:        seed,
 		Parallelism: episodeWorkers,
 	}
-	est, err := montecarlo.EvaluateWithScratch(montecarlo.PointModel(p), montecarlo.SystemFactory(factory), cfg, scratch)
+	est, err := montecarlo.EvaluateMultiWithScratch(montecarlo.MultiPointModel(m), montecarlo.SystemFactory(factory), cfg, scratch)
 	if err != nil {
 		return 0, nil, err
 	}
@@ -407,15 +415,15 @@ func (r *Result) findBest(spec Spec) error {
 				continue
 			}
 			if !found || gs.Best.Fitness > r.Best.Fitness {
-				p, err := encounter.FromVector(gs.Best.Genome)
+				m, err := encounter.MultiFromVector(gs.Best.Genome)
 				if err != nil {
 					return fmt.Errorf("search: best genome corrupt: %w", err)
 				}
-				p = spec.Ranges.Clamp(p)
+				m = spec.Ranges.ClampMulti(m)
 				r.Best = Best{
-					Params:     p,
+					Params:     m,
 					Fitness:    gs.Best.Fitness,
-					Geometry:   encounter.Classify(p),
+					Geometry:   encounter.ClassifyMulti(m),
 					Island:     i,
 					Generation: gs.Generation,
 				}

@@ -57,8 +57,14 @@ type Spec struct {
 	// successor's worst individuals).
 	MigrationSize int
 
-	// Ranges is the encounter search space.
+	// Ranges is the encounter search space (per intruder: a K-intruder
+	// genome repeats the nine bounds K times in block order).
 	Ranges encounter.Ranges
+	// Intruders is the intruder count K of every evolved encounter: each
+	// genome is K pairwise parameter blocks (length K*encounter.NumParams)
+	// decoding to a one-ownship, K-intruder scenario. 0 or 1 keeps the
+	// classic pairwise search, bit for bit.
+	Intruders int
 	// GA configures each island's evolutionary loop. PopulationSize is
 	// per island; Generations is the shared generation budget. The Seed
 	// and Parallelism fields are ignored — Spec.Seed drives all random
@@ -111,10 +117,24 @@ func DefaultSpec() Spec {
 	}
 }
 
+// NumIntruders returns the effective intruder count K (at least 1).
+func (s Spec) NumIntruders() int {
+	if s.Intruders < 1 {
+		return 1
+	}
+	return s.Intruders
+}
+
+// GenomeLen returns the genome length of the search: K pairwise blocks.
+func (s Spec) GenomeLen() int { return s.NumIntruders() * encounter.NumParams }
+
 // Validate checks the spec.
 func (s Spec) Validate() error {
 	if s.Name == "" {
 		return fmt.Errorf("search: empty name")
+	}
+	if s.Intruders < 0 {
+		return fmt.Errorf("search: negative intruder count %d", s.Intruders)
 	}
 	if s.Islands < 1 {
 		return fmt.Errorf("search: islands %d < 1", s.Islands)
@@ -145,9 +165,12 @@ func (s Spec) Validate() error {
 		return fmt.Errorf("search: archive min distance %v outside [0, 1]", s.ArchiveMinDistance)
 	}
 	for i, g := range s.SeedGenomes {
-		if len(g) != encounter.NumParams {
-			return fmt.Errorf("search: seed genome %d has %d genes, want %d",
-				i, len(g), encounter.NumParams)
+		// A K-intruder search accepts both full K-block genomes and plain
+		// pairwise ones — the latter (typically worst cells of a pairwise
+		// sweep) are tiled to K converging copies at initialization.
+		if len(g) != s.GenomeLen() && len(g) != encounter.NumParams {
+			return fmt.Errorf("search: seed genome %d has %d genes, want %d (or %d to tile)",
+				i, len(g), s.GenomeLen(), encounter.NumParams)
 		}
 		// NaN survives clamping (comparisons are false) and would poison
 		// the population; reject it up front.
@@ -164,6 +187,8 @@ func (s Spec) Validate() error {
 //
 //	search.name
 //	search.islands
+//	search.intruders          intruder count K per evolved encounter
+//	                          (default 1, the classic pairwise genome)
 //	search.migration.interval
 //	search.migration.size
 //	search.sims               simulations per encounter
@@ -180,6 +205,9 @@ func FromConfig(c *config.Params) (Spec, error) {
 	s.Seed = gaParams.Seed
 	s.Name = c.StringOr("search.name", s.Name)
 	if s.Islands, err = c.IntOr("search.islands", s.Islands); err != nil {
+		return s, err
+	}
+	if s.Intruders, err = c.IntOr("search.intruders", s.Intruders); err != nil {
 		return s, err
 	}
 	if s.MigrationInterval, err = c.IntOr("search.migration.interval", s.MigrationInterval); err != nil {

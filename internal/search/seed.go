@@ -17,7 +17,10 @@ import (
 // minimum separation, then cell index) and their encounter parameter
 // vectors returned, deduplicated exactly. limit caps the number of seeds
 // (<= 0 means all). Cells written by pre-params sweeps (no "params" field)
-// are skipped; a stream with no usable cells is an error.
+// are skipped; a stream with no usable cells is an error. Multi-intruder
+// cells yield K-block genomes (length K*encounter.NumParams); a K-intruder
+// search tiles plain pairwise seeds up and Spec.Validate rejects genuine
+// length mismatches.
 //
 // This closes the campaign -> search loop: a sweep's worst scenarios become
 // the adversarial search's starting population instead of random genomes.
@@ -28,7 +31,7 @@ func SweepSeeds(r io.Reader, limit int) ([][]float64, error) {
 		if err := json.Unmarshal(data, &c); err != nil {
 			return fmt.Errorf("search: sweep line %d: %w", line, err)
 		}
-		if len(c.Params) != encounter.NumParams || !stats.AllFinite(c.Params...) {
+		if len(c.Params) == 0 || len(c.Params)%encounter.NumParams != 0 || !stats.AllFinite(c.Params...) {
 			return nil
 		}
 		cells = append(cells, c)
@@ -51,10 +54,12 @@ func SweepSeeds(r io.Reader, limit int) ([][]float64, error) {
 		return a.Index < b.Index
 	})
 	var out [][]float64
-	seen := make(map[[encounter.NumParams]float64]bool, len(cells))
+	seen := make(map[string]bool, len(cells))
 	for _, c := range cells {
-		var key [encounter.NumParams]float64
-		copy(key[:], c.Params)
+		// Genomes vary in length across K, so the exact-dedup key is the
+		// rendered vector (%v emits the shortest decimal that round-trips
+		// each float64, so distinct vectors render distinctly).
+		key := fmt.Sprintf("%v", c.Params)
 		if seen[key] {
 			continue
 		}

@@ -17,17 +17,15 @@ type ACASXU struct {
 	logic *acasx.Logic
 }
 
-var _ System = (*ACASXU)(nil)
+var _ MultiSystem = (*ACASXU)(nil)
 
 // NewACASXU wraps a built or loaded logic table.
 func NewACASXU(table *acasx.Table) *ACASXU {
 	return &ACASXU{logic: acasx.NewLogic(table)}
 }
 
-// Decide implements System.
-func (a *ACASXU) Decide(_ float64, own uav.State, intrPos, intrVel geom.Vec3, c Constraint) Decision {
-	mask := acasx.SenseMask{BanUp: c.BanUp, BanDown: c.BanDown}
-	d := a.logic.Decide(own, intrPos, intrVel, mask)
+// fromACASDecision converts an executive decision into the engine's form.
+func fromACASDecision(d acasx.Decision) Decision {
 	out := Decision{
 		Alerting: d.Alerting,
 		NewAlert: d.NewAlert,
@@ -43,6 +41,19 @@ func (a *ACASXU) Decide(_ float64, own uav.State, intrPos, intrVel geom.Vec3, c 
 		out.HasCmd = true
 	}
 	return out
+}
+
+// Decide implements System.
+func (a *ACASXU) Decide(_ float64, own uav.State, intrPos, intrVel geom.Vec3, c Constraint) Decision {
+	mask := acasx.SenseMask{BanUp: c.BanUp, BanDown: c.BanDown}
+	return fromACASDecision(a.logic.Decide(own, intrPos, intrVel, mask))
+}
+
+// DecideMulti implements MultiSystem: per-intruder table queries fused
+// most-restrictive-first (acasx.Logic.DecideMulti).
+func (a *ACASXU) DecideMulti(_ float64, own uav.State, tracks []geom.Track, c Constraint) Decision {
+	mask := acasx.SenseMask{BanUp: c.BanUp, BanDown: c.BanDown}
+	return fromACASDecision(a.logic.DecideMulti(own, tracks, mask))
 }
 
 // Reset implements System.
@@ -58,7 +69,7 @@ type ACASXUBelief struct {
 	logic *acasx.BeliefLogic
 }
 
-var _ System = (*ACASXUBelief)(nil)
+var _ MultiSystem = (*ACASXUBelief)(nil)
 
 // NewACASXUBelief wraps a table with a belief-weighted executive.
 func NewACASXUBelief(table *acasx.Table, sigmas acasx.BeliefSigmas) (*ACASXUBelief, error) {
@@ -72,22 +83,14 @@ func NewACASXUBelief(table *acasx.Table, sigmas acasx.BeliefSigmas) (*ACASXUBeli
 // Decide implements System.
 func (a *ACASXUBelief) Decide(_ float64, own uav.State, intrPos, intrVel geom.Vec3, c Constraint) Decision {
 	mask := acasx.SenseMask{BanUp: c.BanUp, BanDown: c.BanDown}
-	d := a.logic.Decide(own, intrPos, intrVel, mask)
-	out := Decision{
-		Alerting: d.Alerting,
-		NewAlert: d.NewAlert,
-	}
-	switch d.Advisory.Sense() {
-	case acasx.SenseUp:
-		out.Sense = SenseUp
-	case acasx.SenseDown:
-		out.Sense = SenseDown
-	}
-	if cmd, ok := d.Command(); ok {
-		out.Cmd = cmd
-		out.HasCmd = true
-	}
-	return out
+	return fromACASDecision(a.logic.Decide(own, intrPos, intrVel, mask))
+}
+
+// DecideMulti implements MultiSystem: per-intruder belief integrations
+// fused most-restrictive-first (acasx.BeliefLogic.DecideMulti).
+func (a *ACASXUBelief) DecideMulti(_ float64, own uav.State, tracks []geom.Track, c Constraint) Decision {
+	mask := acasx.SenseMask{BanUp: c.BanUp, BanDown: c.BanDown}
+	return fromACASDecision(a.logic.DecideMulti(own, tracks, mask))
 }
 
 // Reset implements System.

@@ -64,6 +64,37 @@ type System interface {
 	Reset()
 }
 
+// MultiSystem is a System that can resolve several simultaneous threats in
+// one decision cycle: the engine hands it every currently-tracked intruder
+// and the system fuses the per-threat resolutions itself (the ACAS XU
+// executives fuse per-intruder table queries most-restrictive-first).
+// Systems that do not implement MultiSystem face only the nearest threat
+// in multi-intruder encounters.
+type MultiSystem interface {
+	System
+	// DecideMulti runs one decision cycle against every tracked intruder
+	// (tracks holds at least one entry; a single entry must behave exactly
+	// like Decide).
+	DecideMulti(now float64, own uav.State, tracks []geom.Track, c Constraint) Decision
+}
+
+// AppendSystemsFromPair fans a pairwise system factory out to the K+1
+// systems of a K-intruder encounter, appending to dst: the factory's first
+// pair equips the ownship and intruder 1, each further call contributes
+// one more intruder (its ownship half is discarded). Every pairwise-factory
+// consumer (the Monte-Carlo evaluator, cmd/encsim) shares this contract
+// through here, so a future change to the fan-out cannot drift between CLI
+// replays and estimates.
+func AppendSystemsFromPair(dst []System, factory func() (System, System), k int) []System {
+	own, intr := factory()
+	dst = append(dst, own, intr)
+	for j := 2; j <= k; j++ {
+		_, extra := factory()
+		dst = append(dst, extra)
+	}
+	return dst
+}
+
 // NoSystem is the unequipped baseline: it never commands anything.
 type NoSystem struct{}
 

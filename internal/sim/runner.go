@@ -23,12 +23,13 @@ type RunConfig struct {
 	// failure mode — happen after the nominal CPA.
 	Overtime float64
 	// OwnUAV and IntruderUAV are the aircraft performance/disturbance
-	// models.
+	// models (IntruderUAV applies to every intruder of a multi-intruder
+	// encounter).
 	OwnUAV, IntruderUAV uav.Config
 	// Sensor is the ADS-B error model applied to each aircraft's view of
-	// the other.
+	// the others.
 	Sensor uav.SensorModel
-	// UseTracker enables alpha-beta filtering of the received track.
+	// UseTracker enables alpha-beta filtering of the received tracks.
 	UseTracker bool
 	// Tracker is the filter configuration when UseTracker is set.
 	Tracker tracker.Config
@@ -95,6 +96,9 @@ type TrajectoryPoint struct {
 	T        float64
 	Own      uav.State
 	Intruder uav.State
+	// MoreIntruders holds the states of intruders beyond the first, in
+	// encounter order (nil for classic pairwise encounters).
+	MoreIntruders []uav.State
 	// OwnAlerting/IntruderAlerting record whether each CAS was advising.
 	OwnAlerting      bool
 	IntruderAlerting bool
@@ -105,20 +109,24 @@ type TrajectoryPoint struct {
 
 // Result summarizes one simulated encounter.
 type Result struct {
-	// NMAC reports a detected near mid-air collision and its time.
+	// NMAC reports a detected near mid-air collision (the ownship against
+	// any intruder) and its time.
 	NMAC     bool
 	NMACTime float64
-	// MinSeparation is the minimum 3-D separation over the run, metres,
-	// and the time it occurred.
+	// MinSeparation is the minimum 3-D ownship-to-intruder separation over
+	// the run (the minimum across every intruder), metres, and the time it
+	// occurred.
 	MinSeparation   float64
 	MinSeparationAt float64
 	// MinHorizontal and MinVertical are the independent minima the
-	// paper's Proximity Measurer records.
+	// paper's Proximity Measurer records, again across every intruder.
 	MinHorizontal float64
 	MinVertical   float64
-	// OwnAlerts / IntruderAlerts count no-alert -> alert transitions.
-	OwnAlerts      int
-	IntruderAlerts int
+	// AlertCounts[i] counts aircraft i's no-alert -> alert transitions:
+	// index 0 is the ownship, 1..K the intruders. The slice is owned by
+	// the Runner that produced the result and is overwritten by its next
+	// Run; callers retaining results across runs must copy it.
+	AlertCounts []int
 	// OwnAlertTime is the first time the own-ship alerted (-1 if never).
 	OwnAlertTime float64
 	// Duration is the simulated time span.
@@ -127,16 +135,49 @@ type Result struct {
 	Trajectory []TrajectoryPoint
 }
 
-// Alerted reports whether either aircraft alerted during the run.
-func (r Result) Alerted() bool { return r.OwnAlerts > 0 || r.IntruderAlerts > 0 }
+// OwnAlerts returns the ownship's alert count.
+func (r Result) OwnAlerts() int {
+	if len(r.AlertCounts) == 0 {
+		return 0
+	}
+	return r.AlertCounts[0]
+}
 
-// aircraft bundles one simulated aircraft with its CAS and its view of the
-// peer. The vehicle and track filter are embedded by value so one aircraft
-// (inside a Runner) can be reset and reused across episodes without
-// allocating.
+// IntruderAlerts returns the total alert count over every intruder (the
+// single intruder's count for a pairwise encounter).
+func (r Result) IntruderAlerts() int {
+	return r.TotalAlerts() - r.OwnAlerts()
+}
+
+// TotalAlerts returns the alert count summed over every aircraft.
+func (r Result) TotalAlerts() int {
+	n := 0
+	for _, c := range r.AlertCounts {
+		n += c
+	}
+	return n
+}
+
+// Alerted reports whether any aircraft alerted during the run.
+func (r Result) Alerted() bool {
+	for _, c := range r.AlertCounts {
+		if c > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// aircraft bundles one simulated aircraft with its CAS and its filtered
+// views of the peers it observes. The vehicle and track filters are held by
+// value so one aircraft (inside a Runner) can be reset and reused across
+// episodes without allocating.
 type aircraft struct {
-	vehicle  uav.UAV
-	track    tracker.Tracker
+	vehicle uav.UAV
+	// tracks filters this aircraft's view of each observed peer: the
+	// ownship keeps one filter per intruder (index j-1 for intruder j),
+	// every intruder keeps exactly one (the ownship).
+	tracks   []tracker.Tracker
 	hasTrack bool
 	system   System
 	// lastDecision caches the most recent decision for coordination.
@@ -145,12 +186,27 @@ type aircraft struct {
 	firstAlertAt float64
 }
 
+// ensureTracks grows the aircraft's filter set to n peers, wiring new
+// filters with cfg. Existing filters are left untouched (Reconfigure
+// re-wires them when the configuration changes).
+func (a *aircraft) ensureTracks(n int, cfg tracker.Config) error {
+	for len(a.tracks) < n {
+		a.tracks = append(a.tracks, tracker.Tracker{})
+		if err := a.tracks[len(a.tracks)-1].Init(cfg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // reset wires the aircraft for a fresh encounter: new initial state, new
-// (Reset) system, dropped track, cleared alert bookkeeping.
+// (Reset) system, dropped tracks, cleared alert bookkeeping.
 func (a *aircraft) reset(system System, initial uav.State) {
 	a.vehicle.Reset(initial)
 	if a.hasTrack {
-		a.track.Reset()
+		for i := range a.tracks {
+			a.tracks[i].Reset()
+		}
 	}
 	a.system = system
 	system.Reset()
@@ -159,10 +215,12 @@ func (a *aircraft) reset(system System, initial uav.State) {
 	a.firstAlertAt = -1
 }
 
-// Runner is a reusable simulation world for one RunConfig: two aircraft,
-// their track filters, the proximity and accident monitors, the clock and
-// four deterministic RNG streams, all wired once at construction and reset
-// in place by every Run. A Runner performs no steady-state allocation per
+// Runner is a reusable simulation world for one RunConfig: a fleet of
+// aircraft (one ownship plus K >= 1 intruders), their track filters, the
+// proximity and accident monitors, the clock and per-aircraft deterministic
+// RNG streams, all wired once and reset in place by every Run. The fleet
+// grows on demand when an encounter brings more intruders than any before
+// it; at a steady intruder count a Runner performs no allocation per
 // episode (except the optional trajectory recording), which is what lets
 // the Monte-Carlo evaluator run millions of episodes allocation-free.
 //
@@ -171,15 +229,43 @@ func (a *aircraft) reset(system System, initial uav.State) {
 type Runner struct {
 	cfg        RunConfig
 	configured bool
-	own        aircraft
-	intr       aircraft
-	prox       ProximityMeasurer
-	accident   AccidentDetector
-	clock      Clock
+	// fleet[0] is the ownship; fleet[1..k] the intruders of the current
+	// encounter (the slice may be longer than 1+k from earlier runs).
+	fleet []*aircraft
+	// k is the intruder count of the encounter in flight.
+	k        int
+	prox     ProximityMeasurer
+	accident AccidentDetector
+	clock    Clock
 
-	// Independent deterministic RNG streams: dynamics x2, sensors x2,
-	// re-seeded per episode to the exact streams Rand(seed, 0..3) yields.
-	ownDyn, intrDyn, ownSensor, intrSensor stats.ReseedableRNG
+	// Per-aircraft deterministic RNG streams (dynamics and sensor),
+	// re-seeded per episode; the stream indices preserve the classic
+	// two-aircraft layout (see streamIndexes).
+	dyn, sensor []*stats.ReseedableRNG
+	// dynR/sensorR cache the *rand.Rand views for the run in flight.
+	dynR, sensorR []*rand.Rand
+
+	// Scratch reused across episodes.
+	posBefore   []geom.Vec3
+	posAfter    []geom.Vec3
+	trackBuf    []geom.Track
+	alertCounts []int
+
+	// pairParams/pairSystems back the allocation-free pairwise Run wrapper.
+	pairParams  [1]encounter.Params
+	pairSystems [2]System
+}
+
+// streamIndexes returns the (dynamics, sensor) component stream indices of
+// aircraft i. Aircraft 0 and 1 keep the classic two-aircraft layout (own
+// dynamics 0, intruder dynamics 1, own sensor 2, intruder sensor 3) so a
+// single-intruder encounter replays the exact historical streams;
+// additional aircraft draw from fresh stream pairs above that range.
+func streamIndexes(i int) (dyn, sensor int) {
+	if i < 2 {
+		return i, i + 2
+	}
+	return 2 * i, 2*i + 1
 }
 
 // NewRunner builds a reusable simulation world for the configuration.
@@ -203,26 +289,89 @@ func (r *Runner) Reconfigure(cfg RunConfig) error {
 	if err := cfg.Validate(); err != nil {
 		return err
 	}
-	if err := r.own.vehicle.Init(cfg.OwnUAV, uav.State{}); err != nil {
-		return err
-	}
-	if err := r.intr.vehicle.Init(cfg.IntruderUAV, uav.State{}); err != nil {
-		return err
-	}
-	r.own.hasTrack, r.intr.hasTrack = cfg.UseTracker, cfg.UseTracker
-	if cfg.UseTracker {
-		if err := r.own.track.Init(cfg.Tracker); err != nil {
+	r.cfg = cfg
+	// Re-wire every existing aircraft for the new configuration, then make
+	// sure the classic pairwise fleet exists.
+	for i, a := range r.fleet {
+		if err := r.wireAircraft(a, i); err != nil {
 			return err
 		}
-		if err := r.intr.track.Init(cfg.Tracker); err != nil {
-			return err
-		}
+	}
+	if err := r.ensureFleet(2); err != nil {
+		return err
 	}
 	r.prox.Reset()
 	r.accident.Reset()
 	r.clock = Clock{dt: cfg.Dt}
-	r.cfg = cfg
 	r.configured = true
+	return nil
+}
+
+// wireAircraft (re)initializes aircraft i's vehicle and track filters for
+// the current configuration.
+func (r *Runner) wireAircraft(a *aircraft, i int) error {
+	ucfg := r.cfg.IntruderUAV
+	if i == 0 {
+		ucfg = r.cfg.OwnUAV
+	}
+	if err := a.vehicle.Init(ucfg, uav.State{}); err != nil {
+		return err
+	}
+	a.hasTrack = r.cfg.UseTracker
+	if r.cfg.UseTracker {
+		for j := range a.tracks {
+			if err := a.tracks[j].Init(r.cfg.Tracker); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ensureFleet grows the runner's aircraft pool, RNG streams and scratch
+// buffers to host n aircraft (1 ownship + n-1 intruders), wiring new slots
+// for the current configuration. Existing slots are untouched, so a steady
+// intruder count costs nothing.
+func (r *Runner) ensureFleet(n int) error {
+	for len(r.fleet) < n {
+		a := &aircraft{}
+		if err := r.wireAircraft(a, len(r.fleet)); err != nil {
+			return err
+		}
+		r.fleet = append(r.fleet, a)
+	}
+	// The ownship filters one track per intruder; each intruder filters
+	// only the ownship.
+	if r.cfg.UseTracker {
+		if err := r.fleet[0].ensureTracks(n-1, r.cfg.Tracker); err != nil {
+			return err
+		}
+		for i := 1; i < n; i++ {
+			if err := r.fleet[i].ensureTracks(1, r.cfg.Tracker); err != nil {
+				return err
+			}
+		}
+	}
+	for len(r.dyn) < n {
+		r.dyn = append(r.dyn, &stats.ReseedableRNG{})
+		r.sensor = append(r.sensor, &stats.ReseedableRNG{})
+	}
+	for len(r.dynR) < n {
+		r.dynR = append(r.dynR, nil)
+		r.sensorR = append(r.sensorR, nil)
+	}
+	for len(r.posBefore) < n {
+		r.posBefore = append(r.posBefore, geom.Vec3{})
+	}
+	for len(r.posAfter) < n {
+		r.posAfter = append(r.posAfter, geom.Vec3{})
+	}
+	for cap(r.trackBuf) < n-1 {
+		r.trackBuf = append(r.trackBuf[:cap(r.trackBuf)], geom.Track{})
+	}
+	for cap(r.alertCounts) < n {
+		r.alertCounts = append(r.alertCounts[:cap(r.alertCounts)], 0)
+	}
 	return nil
 }
 
@@ -233,24 +382,58 @@ func (r *Runner) Config() RunConfig { return r.cfg }
 // collision avoidance systems (use NoSystem for an unequipped aircraft),
 // resetting the whole world in place first. The run is deterministic for a
 // given seed and byte-identical to RunEncounter with the same arguments;
-// Systems are Reset before use.
+// Systems are Reset before use. Run is the pairwise special case of
+// RunMulti and shares its engine.
 func (r *Runner) Run(p encounter.Params, ownSys, intrSys System, seed uint64) (Result, error) {
+	r.pairParams[0] = p
+	r.pairSystems[0], r.pairSystems[1] = ownSys, intrSys
+	return r.RunMulti(encounter.MultiParams{Intruders: r.pairParams[:]}, r.pairSystems[:], seed)
+}
+
+// RunMulti simulates one encounter between the ownship and the encounter's
+// K intruders. systems holds one collision avoidance system per aircraft:
+// systems[0] equips the ownship, systems[j] intruder j (1 <= j <= K); use
+// NoSystem for unequipped aircraft. The ownship resolves all K threats in
+// one decision cycle (MultiSystem fusion when its system supports it, the
+// nearest threat otherwise); each intruder avoids the ownship only. A
+// single-intruder call is bit-identical to the classic pairwise Run.
+func (r *Runner) RunMulti(m encounter.MultiParams, systems []System, seed uint64) (Result, error) {
+	if err := m.Validate(); err != nil {
+		return Result{}, err
+	}
+	k := m.NumIntruders()
+	if len(systems) != k+1 {
+		return Result{}, fmt.Errorf("sim: %d systems for %d aircraft (1 ownship + %d intruders)",
+			len(systems), k+1, k)
+	}
+	for i, s := range systems {
+		if s == nil {
+			return Result{}, fmt.Errorf("sim: nil system for aircraft %d", i)
+		}
+	}
+	if err := r.ensureFleet(k + 1); err != nil {
+		return Result{}, err
+	}
+	r.k = k
 	cfg := &r.cfg
-	ownInit, intrInit := encounter.Generate(p)
-	r.own.reset(ownSys, ownInit)
-	r.intr.reset(intrSys, intrInit)
+
+	r.fleet[0].reset(systems[0], encounter.OwnInitialState(m.Intruders[0]))
+	for j := 1; j <= k; j++ {
+		r.fleet[j].reset(systems[j], encounter.IntruderInitialState(m.Intruders[j-1]))
+	}
 	r.prox.Reset()
 	r.accident.Reset()
 	r.clock.Reset()
 
-	ownDyn := r.ownDyn.SeedPCG(streamSeedWords(seed, 0))
-	intrDyn := r.intrDyn.SeedPCG(streamSeedWords(seed, 1))
-	ownSensor := r.ownSensor.SeedPCG(streamSeedWords(seed, 2))
-	intrSensor := r.intrSensor.SeedPCG(streamSeedWords(seed, 3))
+	for i := 0; i <= k; i++ {
+		di, si := streamIndexes(i)
+		r.dynR[i] = r.dyn[i].SeedPCG(streamSeedWords(seed, di))
+		r.sensorR[i] = r.sensor[i].SeedPCG(streamSeedWords(seed, si))
+	}
 
-	duration := p.TimeToCPA + cfg.Overtime
+	duration := m.MaxTimeToCPA() + cfg.Overtime
 	res := Result{OwnAlertTime: -1}
-	r.observe(0, r.own.vehicle.State().Pos, r.intr.vehicle.State().Pos)
+	r.observeAll(0)
 	if cfg.RecordTrajectory {
 		res.Trajectory = append(res.Trajectory, r.trajectoryPoint(0))
 	}
@@ -259,15 +442,19 @@ func (r *Runner) Run(p encounter.Params, ownSys, intrSys System, seed uint64) (R
 	for r.clock.Now() < duration {
 		now := r.clock.Now()
 		if now >= nextDecision {
-			r.decide(now, &r.own, &r.intr, ownSensor)
-			r.decide(now, &r.intr, &r.own, intrSensor)
+			r.decideOwnship(now)
+			for j := 1; j <= k; j++ {
+				r.decideIntruder(now, j)
+			}
 			nextDecision += cfg.DecisionPeriod
 		}
-		ownBefore := r.own.vehicle.State().Pos
-		intrBefore := r.intr.vehicle.State().Pos
-		r.own.vehicle.Step(cfg.Dt, ownDyn)
-		r.intr.vehicle.Step(cfg.Dt, intrDyn)
-		r.sampleSeparationFine(now, ownBefore, r.own.vehicle.State().Pos, intrBefore, r.intr.vehicle.State().Pos)
+		for i := 0; i <= k; i++ {
+			r.posBefore[i] = r.fleet[i].vehicle.State().Pos
+		}
+		for i := 0; i <= k; i++ {
+			r.fleet[i].vehicle.Step(cfg.Dt, r.dynR[i])
+		}
+		r.sampleSeparationFine(now)
 		r.clock.Tick()
 		if cfg.RecordTrajectory {
 			res.Trajectory = append(res.Trajectory, r.trajectoryPoint(r.clock.Now()))
@@ -278,44 +465,71 @@ func (r *Runner) Run(p encounter.Params, ownSys, intrSys System, seed uint64) (R
 	res.MinSeparation, res.MinSeparationAt = r.prox.Min3D()
 	res.MinHorizontal = r.prox.MinHorizontal()
 	res.MinVertical = r.prox.MinVertical()
-	res.OwnAlerts = r.own.alerts
-	res.IntruderAlerts = r.intr.alerts
-	res.OwnAlertTime = r.own.firstAlertAt
+	r.alertCounts = r.alertCounts[:k+1]
+	for i := 0; i <= k; i++ {
+		r.alertCounts[i] = r.fleet[i].alerts
+	}
+	res.AlertCounts = r.alertCounts
+	res.OwnAlertTime = r.fleet[0].firstAlertAt
 	res.Duration = r.clock.Now()
 	return res, nil
 }
 
-// observe feeds one pair of positions to both monitors.
+// observe feeds one ownship-intruder position pair to both monitors.
 func (r *Runner) observe(now float64, a, b geom.Vec3) {
 	r.prox.Observe(now, a, b)
 	r.accident.Observe(now, a, b)
 }
 
-// sampleSeparationFine linearly interpolates both trajectories across a
-// step and feeds sub-sampled positions to the monitors so that fast
-// crossings are not stepped over.
-func (r *Runner) sampleSeparationFine(t0 float64, aFrom, aTo, bFrom, bTo geom.Vec3) {
+// observeAll feeds the current ownship-to-intruder pairs to the monitors,
+// so the recorded minima (and any NMAC) are minima over every intruder.
+func (r *Runner) observeAll(now float64) {
+	own := r.fleet[0].vehicle.State().Pos
+	for j := 1; j <= r.k; j++ {
+		r.observe(now, own, r.fleet[j].vehicle.State().Pos)
+	}
+}
+
+// sampleSeparationFine linearly interpolates every trajectory across a
+// step and feeds sub-sampled ownship-to-intruder positions to the monitors
+// so that fast crossings are not stepped over.
+func (r *Runner) sampleSeparationFine(t0 float64) {
 	subSteps := r.cfg.MonitorSubSteps
 	if subSteps < 1 {
 		subSteps = 1
 	}
+	// Hoist every post-step endpoint out of the sub-step loop: State()
+	// copies the full vehicle state, and this is the innermost loop of
+	// every episode (subSteps x K observations per simulation step).
+	for i := 0; i <= r.k; i++ {
+		r.posAfter[i] = r.fleet[i].vehicle.State().Pos
+	}
 	for i := 1; i <= subSteps; i++ {
 		f := float64(i) / float64(subSteps)
-		r.observe(t0+f*r.cfg.Dt, aFrom.Lerp(aTo, f), bFrom.Lerp(bTo, f))
+		t := t0 + f*r.cfg.Dt
+		ownAt := r.posBefore[0].Lerp(r.posAfter[0], f)
+		for j := 1; j <= r.k; j++ {
+			r.observe(t, ownAt, r.posBefore[j].Lerp(r.posAfter[j], f))
+		}
 	}
 }
 
 // trajectoryPoint snapshots the current world state for recording.
 func (r *Runner) trajectoryPoint(now float64) TrajectoryPoint {
-	return TrajectoryPoint{
+	own, first := r.fleet[0], r.fleet[1]
+	tp := TrajectoryPoint{
 		T:                now,
-		Own:              r.own.vehicle.State(),
-		Intruder:         r.intr.vehicle.State(),
-		OwnAlerting:      r.own.lastDecision.Alerting,
-		IntruderAlerting: r.intr.lastDecision.Alerting,
-		OwnSense:         r.own.lastDecision.Sense,
-		IntruderSense:    r.intr.lastDecision.Sense,
+		Own:              own.vehicle.State(),
+		Intruder:         first.vehicle.State(),
+		OwnAlerting:      own.lastDecision.Alerting,
+		IntruderAlerting: first.lastDecision.Alerting,
+		OwnSense:         own.lastDecision.Sense,
+		IntruderSense:    first.lastDecision.Sense,
 	}
+	for j := 2; j <= r.k; j++ {
+		tp.MoreIntruders = append(tp.MoreIntruders, r.fleet[j].vehicle.State())
+	}
+	return tp
 }
 
 // RunEncounter simulates one encounter between two aircraft equipped with
@@ -331,38 +545,45 @@ func RunEncounter(p encounter.Params, ownSys, intrSys System, cfg RunConfig, see
 	return r.Run(p, ownSys, intrSys, seed)
 }
 
-// decide runs one decision cycle for aircraft a against peer b.
-func (r *Runner) decide(now float64, a, b *aircraft, sensorRNG *rand.Rand) {
-	// Surveillance: a receives b's broadcast with sensor noise.
-	rep := r.cfg.Sensor.Observe(b.vehicle.State(), now, sensorRNG)
-	var pos, vel geom.Vec3
-	haveTrack := false
+// RunMultiEncounter simulates one encounter between the ownship and K
+// intruders; systems[0] equips the ownship, systems[j] intruder j. The run
+// is deterministic for a given seed, and bit-identical to RunEncounter for
+// single-intruder encounters. Callers running many episodes should hold a
+// Runner and call RunMulti, which reuses the whole simulation world.
+func RunMultiEncounter(m encounter.MultiParams, systems []System, cfg RunConfig, seed uint64) (Result, error) {
+	r, err := NewRunner(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	return r.RunMulti(m, systems, seed)
+}
+
+// surveil runs aircraft a's surveillance of peer (tracked by a.tracks[ti]):
+// one noisy ADS-B observation, filtered when tracking is enabled. It
+// reports the estimated position/velocity and whether a usable track
+// exists this cycle.
+func (r *Runner) surveil(a *aircraft, ti int, peer *aircraft, now float64, sensorRNG *rand.Rand) (pos, vel geom.Vec3, ok bool) {
+	rep := r.cfg.Sensor.Observe(peer.vehicle.State(), now, sensorRNG)
 	if a.hasTrack {
+		tk := &a.tracks[ti]
 		if rep.Valid {
-			est := a.track.Update(rep.Pos, rep.Vel, now)
-			pos, vel, haveTrack = est.Pos, est.Vel, est.Initialized
-		} else if est := a.track.Predict(now); est.Initialized {
-			pos, vel, haveTrack = est.Pos, est.Vel, true
+			est := tk.Update(rep.Pos, rep.Vel, now)
+			return est.Pos, est.Vel, est.Initialized
 		}
-	} else if rep.Valid {
-		pos, vel, haveTrack = rep.Pos, rep.Vel, true
-	}
-	if !haveTrack {
-		// No surveillance: keep flying the current command.
-		return
-	}
-
-	var constraint Constraint
-	if r.cfg.Coordination {
-		switch b.lastDecision.Sense {
-		case SenseUp:
-			constraint.BanUp = true
-		case SenseDown:
-			constraint.BanDown = true
+		if est := tk.Predict(now); est.Initialized {
+			return est.Pos, est.Vel, true
 		}
+		return geom.Vec3{}, geom.Vec3{}, false
 	}
+	if rep.Valid {
+		return rep.Pos, rep.Vel, true
+	}
+	return geom.Vec3{}, geom.Vec3{}, false
+}
 
-	d := a.system.Decide(now, a.vehicle.State(), pos, vel, constraint)
+// applyDecision records a decision's alert bookkeeping and commands the
+// vehicle.
+func (a *aircraft) applyDecision(d Decision, now float64) {
 	if d.NewAlert {
 		a.alerts++
 		if a.firstAlertAt < 0 {
@@ -375,4 +596,89 @@ func (r *Runner) decide(now float64, a, b *aircraft, sensorRNG *rand.Rand) {
 	} else {
 		a.vehicle.ClearCommand()
 	}
+}
+
+// decideOwnship runs the ownship's decision cycle: surveil every intruder
+// (in encounter order, from the ownship's sensor stream), then resolve the
+// surviving tracks in one step — the pairwise Decide for a single track
+// (bit-identical to the classic engine), the system's multi-threat fusion
+// when it implements MultiSystem, and the nearest threat otherwise.
+func (r *Runner) decideOwnship(now float64) {
+	a := r.fleet[0]
+	sensorRNG := r.sensorR[0]
+	tracks := r.trackBuf[:0]
+	for j := 1; j <= r.k; j++ {
+		if pos, vel, ok := r.surveil(a, j-1, r.fleet[j], now, sensorRNG); ok {
+			tracks = append(tracks, geom.Track{Pos: pos, Vel: vel})
+		}
+	}
+	r.trackBuf = tracks[:0]
+	if len(tracks) == 0 {
+		// No surveillance: keep flying the current command.
+		return
+	}
+
+	var constraint Constraint
+	if r.cfg.Coordination {
+		for j := 1; j <= r.k; j++ {
+			switch r.fleet[j].lastDecision.Sense {
+			case SenseUp:
+				constraint.BanUp = true
+			case SenseDown:
+				constraint.BanDown = true
+			}
+		}
+	}
+
+	own := a.vehicle.State()
+	var d Decision
+	if len(tracks) == 1 {
+		d = a.system.Decide(now, own, tracks[0].Pos, tracks[0].Vel, constraint)
+	} else if ms, ok := a.system.(MultiSystem); ok {
+		d = ms.DecideMulti(now, own, tracks, constraint)
+	} else {
+		// Systems without a multi-threat step face the nearest intruder —
+		// the most immediately pressing conflict.
+		n := nearestTrack(own.Pos, tracks)
+		d = a.system.Decide(now, own, tracks[n].Pos, tracks[n].Vel, constraint)
+	}
+	a.applyDecision(d, now)
+}
+
+// nearestTrack returns the index of the track closest to pos in 3-D (first
+// index on ties, so the choice is deterministic).
+func nearestTrack(pos geom.Vec3, tracks []geom.Track) int {
+	best, bestD := 0, tracks[0].Pos.DistanceSquaredTo(pos)
+	for i := 1; i < len(tracks); i++ {
+		if d := tracks[i].Pos.DistanceSquaredTo(pos); d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best
+}
+
+// decideIntruder runs intruder j's decision cycle against the ownship: one
+// surveillance observation from the intruder's own sensor stream, a
+// pairwise Decide, coordination constrained by the ownship's current
+// claimed sense.
+func (r *Runner) decideIntruder(now float64, j int) {
+	a := r.fleet[j]
+	pos, vel, ok := r.surveil(a, 0, r.fleet[0], now, r.sensorR[j])
+	if !ok {
+		// No surveillance: keep flying the current command.
+		return
+	}
+
+	var constraint Constraint
+	if r.cfg.Coordination {
+		switch r.fleet[0].lastDecision.Sense {
+		case SenseUp:
+			constraint.BanUp = true
+		case SenseDown:
+			constraint.BanDown = true
+		}
+	}
+
+	d := a.system.Decide(now, a.vehicle.State(), pos, vel, constraint)
+	a.applyDecision(d, now)
 }

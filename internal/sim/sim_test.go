@@ -203,7 +203,7 @@ func TestDeterminismUnderSeed(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if a.MinSeparation != b.MinSeparation || a.NMAC != b.NMAC || a.OwnAlerts != b.OwnAlerts {
+	if a.MinSeparation != b.MinSeparation || a.NMAC != b.NMAC || a.OwnAlerts() != b.OwnAlerts() {
 		t.Errorf("same seed, different results: %+v vs %+v", a, b)
 	}
 	c, err := RunEncounter(encounter.PresetCrossing(), NewACASXU(table), NewACASXU(table), cfg, 100)
@@ -303,7 +303,11 @@ func TestSampleSeparationFine(t *testing.T) {
 	}
 	// Own flies from the origin to X=10 over one step while the intruder
 	// stays put: the first sub-sample (f=1/4 at t=10.25) is the closest.
-	r.sampleSeparationFine(10, geom.Vec3{}, geom.Vec3{X: 10}, geom.Vec3{}, geom.Vec3{})
+	r.k = 1
+	r.posBefore[0], r.posBefore[1] = geom.Vec3{}, geom.Vec3{}
+	r.fleet[0].vehicle.Reset(uav.State{Pos: geom.Vec3{X: 10}})
+	r.fleet[1].vehicle.Reset(uav.State{})
+	r.sampleSeparationFine(10)
 	min, at := r.prox.Min3D()
 	if math.Abs(min-2.5) > 1e-9 || math.Abs(at-10.25) > 1e-9 {
 		t.Errorf("min separation %v at %v, want 2.5 at 10.25", min, at)
@@ -314,7 +318,11 @@ func TestSampleSeparationFine(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2.sampleSeparationFine(0, geom.Vec3{}, geom.Vec3{X: 3}, geom.Vec3{}, geom.Vec3{})
+	r2.k = 1
+	r2.posBefore[0], r2.posBefore[1] = geom.Vec3{}, geom.Vec3{}
+	r2.fleet[0].vehicle.Reset(uav.State{Pos: geom.Vec3{X: 3}})
+	r2.fleet[1].vehicle.Reset(uav.State{})
+	r2.sampleSeparationFine(0)
 	if min, at := r2.prox.Min3D(); min != 3 || at != 1 {
 		t.Errorf("degenerate substeps min %v at %v, want 3 at 1", min, at)
 	}
