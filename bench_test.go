@@ -341,3 +341,44 @@ func BenchmarkTableLookupHot(b *testing.B) {
 		table.BestAdvisory(12.5, 30, 1.5, -2.5, COC, SenseMask{})
 	}
 }
+
+// BenchmarkBackendComparison sweeps every registered system backend over
+// the head-on preset under the Monte-Carlo harness and reports each
+// backend's risk ratio against the unequipped baseline — the
+// backend-versus-table record EXPERIMENTS.md tracks, regenerated from the
+// registry so a newly registered backend is measured without touching this
+// harness. One op is one full menu sweep.
+func BenchmarkBackendComparison(b *testing.B) {
+	ctx := SystemContext{Table: benchLogicTable(b)}
+	model := PointEncounterModel(PresetHeadOn())
+	cfg := DefaultMonteCarloConfig()
+	cfg.Samples = 200
+	names := SystemNames()
+	ratios := make(map[string]float64, len(names))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i + 1)
+		estimates := make(map[string]*RiskEstimate, len(names))
+		for _, name := range names {
+			factory, err := NewSystemFactory(ctx, SystemSpec{Name: name})
+			if err != nil {
+				b.Fatal(err)
+			}
+			est, err := EstimateRisk(model, factory, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			estimates[name] = est
+		}
+		for _, name := range names {
+			ratio, err := RiskRatio(estimates[name], estimates["none"])
+			if err != nil {
+				b.Fatal(err)
+			}
+			ratios[name] = ratio
+		}
+	}
+	for _, name := range names {
+		b.ReportMetric(ratios[name], "risk-ratio-"+name)
+	}
+}

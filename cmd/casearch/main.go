@@ -19,7 +19,7 @@
 // Usage:
 //
 //	casearch [-table table.acxt] [-pop 200] [-gens 5] [-sims 100]
-//	         [-seed 1] [-top 10] [-system acasx|belief|svo|none]
+//	         [-seed 1] [-top 10] [-system <name>]
 //	         [-params ecj.params] [-fitness-csv fig6.csv]
 //	         [-baseline] [-clusters 3]
 //	         [-islands N] [-intruders K] [-checkpoint state.json] [-resume]
@@ -59,7 +59,7 @@ func run() error {
 	var (
 		tablePath  = flag.String("table", "", "logic table path (built on the fly when absent)")
 		coarse     = flag.Bool("coarse", false, "use the reduced-resolution table when building")
-		system     = flag.String("system", "acasx", "system under test: acasx, belief, svo or none")
+		system     = flag.String("system", "acasx", "system under test: "+cli.SystemNames())
 		pop        = flag.Int("pop", 200, "GA population size (paper: 200; per island when -islands >= 2)")
 		gens       = flag.Int("gens", 5, "GA generations (paper: 5)")
 		sims       = flag.Int("sims", 100, "simulations per encounter (paper: 100)")

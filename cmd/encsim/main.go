@@ -13,7 +13,7 @@
 // Usage:
 //
 //	encsim -preset <name> [-intruders K] [-runs 100]
-//	       [-system acasx|belief|svo|none] [-table table.acxt] [-seed 1]
+//	       [-system <name>] [-table table.acxt] [-seed 1]
 //	       [-svg out.svg] [-csv out.csv] [-plane plan|profile|time]
 //	encsim -genome "Gso,Vso,T,R,theta,Y,Gsi,psi,Vsi[,...]" ...
 package main
@@ -52,7 +52,7 @@ func run() error {
 		genome    = flag.String("genome", "", "explicit K*9-parameter encounter, comma-separated (overrides -preset)")
 		foundCSV  = flag.String("found", "", "replay an encounter from a casearch -found-csv file (overrides -preset)")
 		foundRank = flag.Int("found-rank", 1, "1-based row to replay from the -found file")
-		system    = flag.String("system", "acasx", "system under test: acasx, belief, svo or none")
+		system    = flag.String("system", "acasx", "system under test: "+cli.SystemNames())
 		tablePath = flag.String("table", "", "logic table path (built on the fly when absent)")
 		coarse    = flag.Bool("coarse", false, "use the reduced-resolution table when building")
 		runs      = flag.Int("runs", 100, "number of stochastic runs for the accident-rate estimate")

@@ -40,7 +40,7 @@ func run() error {
 		workers   = flag.Int("workers", 0, "parallel episode workers (0 = NumCPU; the estimate is identical for any count)")
 		tablePath = flag.String("table", "", "logic table path (built on the fly when absent)")
 		coarse    = flag.Bool("coarse", false, "use the reduced-resolution table when building")
-		systems   = flag.String("systems", "acasx,svo,none", "comma-separated systems to evaluate: acasx, belief, svo, none")
+		systems   = flag.String("systems", "acasx,svo,none", "comma-separated systems to evaluate: "+cli.SystemNames())
 	)
 	flag.Parse()
 

@@ -5,10 +5,22 @@
 //
 // The library contains both halves of the paper:
 //
-//   - The system under test: an ACAS XU-style airborne collision avoidance
-//     system whose logic table is generated automatically by solving a
-//     Markov Decision Process with dynamic programming (BuildLogicTable),
-//     plus the section III pedagogical 2-D grid example (SolveGrid2D).
+//   - The systems under test: an ACAS XU-style airborne collision
+//     avoidance system whose logic table is generated automatically by
+//     solving a Markov Decision Process with dynamic programming
+//     (BuildLogicTable), plus the section III pedagogical 2-D grid example
+//     (SolveGrid2D). Alongside it, a menu of structurally different
+//     methods for the validation machinery to compare: a QMDP
+//     belief-weighted executive, a Selective Velocity Obstacle baseline, a
+//     receding-horizon candidate-trajectory MPC and an artificial
+//     potential field. Every backend is constructed by name through one
+//     registry — NewSystem(ctx, SystemSpec{Name: "mpc", Params: ...}) —
+//     SystemNames enumerates the menu, LookupSystem documents each
+//     backend's parameters, and RegisterSystem extends the menu so
+//     campaigns and CLIs pick up new methods without modification. All
+//     backends speak the engine's multi-intruder AvoidanceSystem contract
+//     (DecideTracks over every surveilled threat per cycle); AdaptSystem
+//     lifts classic pairwise systems onto it bit-identically.
 //
 //   - The paper's contribution: a Genetic-Algorithm-based search for
 //     challenging encounter situations where the generated logic performs
@@ -20,7 +32,7 @@
 // answer to the paper's insistence that single-scenario checks are not
 // enough: a CampaignSpec declares a scenario x system x configuration
 // cross-product (named encounter presets, explicit scenarios and/or
-// statistical-model draws; unequipped, table logic, belief executive, SVO;
+// statistical-model draws; any registered system backend;
 // run-config and sample-count variants), RunCampaign fans it out over a
 // deterministic seed-derived worker pool, streams one JSONL record per
 // cell, and ranks systems by risk ratio against the unequipped baseline.

@@ -43,7 +43,7 @@ func main() {
 			return a, b
 		}},
 		{"none", func() (sim.System, sim.System) {
-			return acasxval.Unequipped()
+			return acasxval.NoAvoidance(), acasxval.NoAvoidance()
 		}},
 	}
 

@@ -37,8 +37,7 @@ func main() {
 		// intruders. Unequipped aircraft fly straight through.
 		unequipped := make([]acasxval.System, k+1)
 		for i := range unequipped {
-			own, _ := acasxval.Unequipped()
-			unequipped[i] = own
+			unequipped[i] = acasxval.NoAvoidance()
 		}
 		base, err := acasxval.RunMultiEncounter(m, unequipped, cfg, 7)
 		if err != nil {
@@ -52,8 +51,7 @@ func main() {
 		equipped := make([]acasxval.System, k+1)
 		equipped[0] = acasxval.NewACASXU(table)
 		for i := 1; i <= k; i++ {
-			_, intr := acasxval.Unequipped()
-			equipped[i] = intr
+			equipped[i] = acasxval.NoAvoidance()
 		}
 		res, err := acasxval.RunMultiEncounter(m, equipped, cfg, 7)
 		if err != nil {

@@ -39,8 +39,8 @@ func main() {
 	fmt.Printf("own-ship alerted %d time(s), first at t=%.1f s\n", res.OwnAlerts(), res.OwnAlertTime)
 
 	// 3. Baseline: the same encounter unequipped collides.
-	own, intr := acasxval.Unequipped()
-	base, err := acasxval.RunEncounter(acasxval.PresetHeadOn(), own, intr,
+	none := acasxval.NoAvoidance()
+	base, err := acasxval.RunEncounter(acasxval.PresetHeadOn(), none, none,
 		acasxval.DefaultRunConfig(), 42)
 	if err != nil {
 		log.Fatal(err)

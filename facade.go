@@ -13,6 +13,7 @@ import (
 	"acasxval/internal/search"
 	"acasxval/internal/sim"
 	"acasxval/internal/svo"
+	"acasxval/internal/sys"
 )
 
 // Re-exported types: the public API surface of the library. Aliases keep
@@ -52,6 +53,21 @@ type (
 	TrajectoryPoint = sim.TrajectoryPoint
 	// System is a pluggable collision avoidance system under test.
 	System = sim.System
+	// AvoidanceSystem is the multi-intruder-first decision contract the
+	// encounter engine consults; pairwise Systems are lifted onto it with
+	// AdaptSystem.
+	AvoidanceSystem = sim.AvoidanceSystem
+
+	// SystemSpec names a registered system backend and optionally
+	// overrides scalar parameters of its default configuration.
+	SystemSpec = sys.Spec
+	// SystemContext carries shared resources (the logic table) into
+	// system construction.
+	SystemContext = sys.Context
+	// SystemBackend is one registered collision avoidance backend.
+	SystemBackend = sys.Backend
+	// SystemParamDoc documents one overridable backend parameter.
+	SystemParamDoc = sys.ParamDoc
 
 	// GAParams configure the genetic algorithm.
 	GAParams = ga.Params
@@ -150,12 +166,49 @@ func BuildLogicTable(cfg TableConfig) (*Table, error) { return acasx.BuildTable(
 // LoadLogicTable reads a table produced by Table.Save.
 func LoadLogicTable(path string) (*Table, error) { return acasx.LoadTable(path) }
 
+// NewSystem constructs a collision avoidance system from the central
+// backend registry: spec.Name selects the backend ("acasx", "belief",
+// "svo", "mpc", "apf", "none", or anything added with RegisterSystem),
+// spec.Params overrides its documented scalar parameters, and ctx supplies
+// the logic table for the table-driven executives.
+func NewSystem(ctx SystemContext, spec SystemSpec) (System, error) {
+	return sys.New(ctx, spec)
+}
+
+// NewSystemFactory resolves a spec once and returns a factory producing
+// fresh (ownship, intruder) system pairs — the shape the Monte-Carlo,
+// search and campaign machinery consumes.
+func NewSystemFactory(ctx SystemContext, spec SystemSpec) (func() (System, System), error) {
+	return sys.PairFactory(ctx, spec)
+}
+
+// RegisterSystem adds a backend to the registry, making its name available
+// to NewSystem, the campaign system axis and the CLI -system flags.
+func RegisterSystem(b SystemBackend) error { return sys.Register(b) }
+
+// SystemNames lists the registered backend names in sorted order.
+func SystemNames() []string { return sys.Names() }
+
+// LookupSystem returns the named backend's registration (documentation,
+// parameter docs, table requirement).
+func LookupSystem(name string) (SystemBackend, bool) { return sys.Lookup(name) }
+
+// AdaptSystem lifts a pairwise System onto the engine's multi-intruder
+// AvoidanceSystem contract (systems already implementing it pass through).
+func AdaptSystem(s System) AvoidanceSystem { return sim.Adapt(s) }
+
 // NewACASXU equips an aircraft with the table-driven logic.
+//
+// Deprecated: use NewSystem(SystemContext{Table: table},
+// SystemSpec{Name: "acasx"}).
 func NewACASXU(table *Table) System { return sim.NewACASXU(table) }
 
 // NewACASXUBelief equips an aircraft with the QMDP belief-weighted
 // executive: advisory choice by expected Q value over a Gaussian state
 // belief (the paper's section IV POMDP question).
+//
+// Deprecated: use NewSystem(SystemContext{Table: table},
+// SystemSpec{Name: "belief"}) with sigma_h/sigma_rate/sigma_tau params.
 func NewACASXUBelief(table *Table, sigmas BeliefSigmas) (System, error) {
 	return sim.NewACASXUBelief(table, sigmas)
 }
@@ -164,12 +217,21 @@ func NewACASXUBelief(table *Table, sigmas BeliefSigmas) (System, error) {
 func DefaultBeliefSigmas() BeliefSigmas { return acasx.DefaultBeliefSigmas() }
 
 // NewSVO equips an aircraft with the Selective Velocity Obstacle baseline.
+//
+// Deprecated: use NewSystem(SystemContext{}, SystemSpec{Name: "svo"}).
 func NewSVO(cfg SVOConfig) (System, error) { return svo.New(cfg) }
 
 // DefaultSVOConfig returns the SVO baseline parameterization.
 func DefaultSVOConfig() SVOConfig { return svo.DefaultConfig() }
 
+// NoAvoidance returns the unequipped baseline system: it never commands.
+// It is stateless, so one value can equip any number of aircraft.
+func NoAvoidance() System { return sim.NoSystem{} }
+
 // Unequipped returns systems for aircraft with no collision avoidance.
+//
+// Deprecated: use NoAvoidance (one stateless value equips any aircraft) or
+// NewSystem(SystemContext{}, SystemSpec{Name: "none"}).
 func Unequipped() (System, System) { return sim.NoSystem{}, sim.NoSystem{} }
 
 // DefaultRunConfig returns the paper-style simulation configuration.
@@ -274,6 +336,11 @@ func DefaultEncounterModel() EncounterModel { return montecarlo.DefaultEncounter
 // DefaultMonteCarloConfig returns the risk-estimation defaults.
 func DefaultMonteCarloConfig() MonteCarloConfig { return montecarlo.DefaultConfig() }
 
+// PointEncounterModel returns the degenerate encounter model that always
+// yields p: every episode replays the same geometry under fresh stochastic
+// dynamics and sensor noise — the campaign engine's per-cell view.
+func PointEncounterModel(p EncounterParams) EncounterModel { return montecarlo.PointModel(p) }
+
 // EstimateRisk runs a Monte-Carlo risk estimation of one system
 // configuration against the encounter model. Episodes fan out over
 // cfg.Parallelism reusable simulation worlds (0 = NumCPU); every episode's
@@ -310,9 +377,10 @@ func DefaultCampaignSpec() CampaignSpec { return campaign.DefaultSpec() }
 // file (see campaign.FromConfig for the recognized keys).
 func LoadCampaignSpec(path string) (CampaignSpec, error) { return campaign.Load(path) }
 
-// DefaultCampaignSystems returns the standard named systems for campaign
-// runs: "none" and "svo" always, plus "acasx" and "belief" when table is
-// non-nil.
+// DefaultCampaignSystems returns every registered backend under its
+// default configuration for campaign runs: "none", "svo", "mpc" and "apf"
+// always, plus "acasx" and "belief" when table is non-nil (and any backend
+// added with RegisterSystem).
 func DefaultCampaignSystems(table *Table) CampaignSystems { return campaign.DefaultSystems(table) }
 
 // RunCampaign executes a validation campaign: the scenario x system x

@@ -6,6 +6,7 @@ package acasxval
 
 import (
 	"path/filepath"
+	"reflect"
 	"sync"
 	"testing"
 
@@ -177,12 +178,51 @@ func TestClassifyThroughFacade(t *testing.T) {
 }
 
 func TestUnequippedFacade(t *testing.T) {
-	own, intr := Unequipped()
-	res, err := RunEncounter(PresetHeadOn(), own, intr, DefaultRunConfig(), 2)
+	none := NoAvoidance()
+	res, err := RunEncounter(PresetHeadOn(), none, none, DefaultRunConfig(), 2)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res.Alerted() {
 		t.Error("unequipped aircraft alerted")
+	}
+}
+
+func TestNewSystemThroughFacade(t *testing.T) {
+	table := facadeLogicTable(t)
+	ctx := SystemContext{Table: table}
+	for _, name := range SystemNames() {
+		sys, err := NewSystem(ctx, SystemSpec{Name: name})
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		// Every backend runs through the engine's multi-intruder contract.
+		if AdaptSystem(sys) == nil {
+			t.Errorf("%s: AdaptSystem returned nil", name)
+		}
+	}
+	if _, err := NewSystem(ctx, SystemSpec{Name: "bogus"}); err == nil {
+		t.Error("bogus system name constructed")
+	}
+}
+
+func TestNewSystemFactoryMatchesDeprecatedConstructors(t *testing.T) {
+	table := facadeLogicTable(t)
+	factory, err := NewSystemFactory(SystemContext{Table: table}, SystemSpec{Name: "acasx"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	own, intr := factory()
+	specRes, err := RunEncounter(PresetHeadOn(), own, intr, DefaultRunConfig(), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldRes, err := RunEncounter(PresetHeadOn(), NewACASXU(table), NewACASXU(table), DefaultRunConfig(), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(specRes, oldRes) {
+		t.Error("spec-built acasx run differs from deprecated-constructor run")
 	}
 }

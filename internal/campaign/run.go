@@ -14,9 +14,8 @@ import (
 	"acasxval/internal/acasx"
 	"acasxval/internal/encounter"
 	"acasxval/internal/montecarlo"
-	"acasxval/internal/sim"
 	"acasxval/internal/stats"
-	"acasxval/internal/svo"
+	"acasxval/internal/sys"
 )
 
 // BaselineSystem is the system name risk ratios are computed against.
@@ -31,46 +30,28 @@ func modelDrawName(i int) string { return fmt.Sprintf("model/%03d", i) }
 // SystemSet maps system names to factories producing fresh system pairs.
 type SystemSet map[string]montecarlo.SystemFactory
 
-// NeedsTable reports whether the named system requires a logic table.
+// NeedsTable reports whether the named system requires a logic table (per
+// the sys registry).
 func NeedsTable(name string) bool {
-	return name == "acasx" || name == "belief"
+	return sys.NeedsTable(name)
 }
 
-// DefaultSystems returns the standard named systems: the unequipped
-// baseline ("none") and the SVO baseline ("svo") always; the table logic
-// ("acasx") and the belief-weighted executive ("belief") when a logic table
-// is supplied.
+// DefaultSystems returns every registered backend under its default
+// configuration: table-requiring backends ("acasx", "belief") only when a
+// logic table is supplied. Backends whose defaults fail to construct are
+// left out — the default set is the runnable menu.
 func DefaultSystems(table *acasx.Table) SystemSet {
-	set := SystemSet{
-		BaselineSystem: montecarlo.Unequipped,
-		"svo": func() (sim.System, sim.System) {
-			a, err := svo.New(svo.DefaultConfig())
-			if err != nil {
-				panic(err) // default config is statically valid
-			}
-			b, err := svo.New(svo.DefaultConfig())
-			if err != nil {
-				panic(err)
-			}
-			return a, b
-		},
-	}
-	if table != nil {
-		set["acasx"] = func() (sim.System, sim.System) {
-			return sim.NewACASXU(table), sim.NewACASXU(table)
+	ctx := sys.Context{Table: table}
+	set := SystemSet{}
+	for _, name := range sys.Names() {
+		if sys.NeedsTable(name) && table == nil {
+			continue
 		}
-		sigmas := acasx.DefaultBeliefSigmas()
-		set["belief"] = func() (sim.System, sim.System) {
-			a, err := sim.NewACASXUBelief(table, sigmas)
-			if err != nil {
-				panic(err) // default sigmas are statically valid
-			}
-			b, err := sim.NewACASXUBelief(table, sigmas)
-			if err != nil {
-				panic(err)
-			}
-			return a, b
+		factory, err := sys.PairFactory(ctx, sys.Spec{Name: name})
+		if err != nil {
+			continue
 		}
+		set[name] = factory
 	}
 	return set
 }

@@ -119,7 +119,7 @@ type Spec struct {
 	Intruders int
 
 	// Systems are the collision avoidance systems under test, by name
-	// (see DefaultSystems: none, acasx, belief, svo).
+	// (see DefaultSystems; the sys registry lists the valid names).
 	Systems []string
 
 	// Variants are the run-configuration axis. Empty means a single
@@ -299,7 +299,7 @@ func (s Spec) Validate() error {
 //	campaign.model.draws        sampled encounter-model scenarios
 //	campaign.intruders          intruder count K of each model draw
 //	                            (default 1, the classic pairwise draws)
-//	campaign.systems            comma list: none, acasx, belief, svo
+//	campaign.systems            comma list of registered system names
 //	campaign.samples            simulations per cell
 //	campaign.seed
 //	campaign.parallelism

@@ -9,8 +9,8 @@ import (
 	"runtime"
 
 	"acasxval/internal/acasx"
-	"acasxval/internal/campaign"
 	"acasxval/internal/sim"
+	"acasxval/internal/sys"
 )
 
 // LoadOrBuildTable loads the logic table from path when it exists;
@@ -46,17 +46,14 @@ func LoadOrBuildTable(path string, coarse bool, workers int) (*acasx.Table, erro
 	return table, nil
 }
 
-// SystemFactory builds the named system pair: "acasx", "belief", "svo" or
-// "none". The table is required for "acasx" and "belief". The set of names
-// is the campaign engine's registry, so the CLIs and the sweep engine
-// cannot drift apart.
+// SystemFactory builds the named system pair through the sys registry
+// (SystemNames lists the valid names). The table is required for the
+// table-driven executives. Unknown-name errors quote the registry's live
+// name list, so the CLIs and the sweep engine cannot drift apart.
 func SystemFactory(name string, table *acasx.Table) (func() (sim.System, sim.System), error) {
-	if campaign.NeedsTable(name) && table == nil {
-		return nil, fmt.Errorf("system %q needs a logic table", name)
-	}
-	factory, ok := campaign.DefaultSystems(table)[name]
-	if !ok {
-		return nil, fmt.Errorf("unknown system %q (want acasx, belief, svo or none)", name)
-	}
-	return factory, nil
+	return sys.PairFactory(sys.Context{Table: table}, sys.Spec{Name: name})
 }
+
+// SystemNames renders the registered system names as a comma-separated
+// list, for -system flag help text.
+func SystemNames() string { return sys.NamesList() }

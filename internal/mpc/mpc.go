@@ -1,0 +1,249 @@
+// Package mpc implements a sampling-based model predictive collision
+// avoidance system: each decision cycle it rolls a small set of candidate
+// vertical-rate trajectories forward over a receding horizon, scores every
+// candidate against constant-velocity predictions of all tracked intruders
+// with an exponential collision cost plus a maneuver-deviation cost, and
+// commands the cheapest candidate (Kamel et al.-style candidate-trajectory
+// MPC, reduced to the vertical axis the ACAS X executives command).
+//
+// The system exists as a validation target: the paper's thesis is that the
+// GA-based search technique is system-agnostic, so the repository carries
+// several structurally different avoidance methods (table-driven ACAS XU,
+// geometric SVO, potential-field APF, and this receding-horizon MPC) behind
+// one interface and points the same stress machinery at each.
+package mpc
+
+import (
+	"fmt"
+	"math"
+
+	"acasxval/internal/geom"
+	"acasxval/internal/sim"
+	"acasxval/internal/uav"
+)
+
+// Config parameterizes the MPC system.
+type Config struct {
+	// Horizon is the prediction horizon, seconds.
+	Horizon float64
+	// Steps is the number of prediction steps across the horizon.
+	Steps int
+	// SafetyDistance is the cylinder-normalized separation (metres,
+	// horizontal-equivalent) at which the collision cost reaches its
+	// reference weight; closer is exponentially worse.
+	SafetyDistance float64
+	// Sharpness is the exponential collision-cost rate, 1/metre: each
+	// predicted sample contributes CollisionWeight *
+	// exp((SafetyDistance - d) * Sharpness).
+	Sharpness float64
+	// CollisionWeight scales the collision cost.
+	CollisionWeight float64
+	// DeviationWeight scales the maneuver cost, per m/s of commanded
+	// vertical-rate change.
+	DeviationWeight float64
+	// ClimbRates are the candidate vertical-rate magnitudes, m/s. Each
+	// contributes a climb and a descend candidate; level-off (0) and
+	// no-command candidates are always present.
+	ClimbRates []float64
+	// StrengthenRate is the |vertical rate| at and above which a command is
+	// flown with the strengthened acceleration limit, m/s.
+	StrengthenRate float64
+	// Accel is the vertical acceleration assumed when predicting rate
+	// capture, m/s^2.
+	Accel float64
+	// MaxVerticalRate bounds predicted and commanded vertical rates, m/s.
+	MaxVerticalRate float64
+}
+
+// DefaultConfig returns the parameterization used by the experiments: the
+// ACAS-like 1500/2500 fpm rate menu predicted at g/4 over a 30-second
+// horizon, with the collision cost anchored two NMAC radii out.
+func DefaultConfig() Config {
+	return Config{
+		Horizon:         30,
+		Steps:           15,
+		SafetyDistance:  2 * geom.NMACHorizontal,
+		Sharpness:       0.02,
+		CollisionWeight: 1,
+		DeviationWeight: 0.05,
+		ClimbRates:      []float64{geom.FPM(1500), geom.FPM(2500)},
+		StrengthenRate:  geom.FPM(2000),
+		Accel:           geom.G / 4,
+		MaxVerticalRate: geom.FPM(3000),
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Horizon <= 0 {
+		return fmt.Errorf("mpc: Horizon %v <= 0", c.Horizon)
+	}
+	if c.Steps <= 0 {
+		return fmt.Errorf("mpc: Steps %v <= 0", c.Steps)
+	}
+	if c.SafetyDistance <= 0 {
+		return fmt.Errorf("mpc: SafetyDistance %v <= 0", c.SafetyDistance)
+	}
+	if c.Sharpness <= 0 {
+		return fmt.Errorf("mpc: Sharpness %v <= 0", c.Sharpness)
+	}
+	if c.CollisionWeight <= 0 {
+		return fmt.Errorf("mpc: CollisionWeight %v <= 0", c.CollisionWeight)
+	}
+	if c.DeviationWeight < 0 {
+		return fmt.Errorf("mpc: negative DeviationWeight %v", c.DeviationWeight)
+	}
+	if c.Accel <= 0 {
+		return fmt.Errorf("mpc: Accel %v <= 0", c.Accel)
+	}
+	if c.MaxVerticalRate <= 0 {
+		return fmt.Errorf("mpc: MaxVerticalRate %v <= 0", c.MaxVerticalRate)
+	}
+	for _, r := range c.ClimbRates {
+		if r <= 0 || r > c.MaxVerticalRate {
+			return fmt.Errorf("mpc: ClimbRate %v outside (0, MaxVerticalRate]", r)
+		}
+	}
+	return nil
+}
+
+// candidate is one member of the fixed trajectory menu.
+type candidate struct {
+	// noCmd marks the keep-current-rate candidate that maps to "clear of
+	// conflict" (no command issued, aircraft returns to plan).
+	noCmd bool
+	// targetVS is the commanded vertical rate, m/s; ignored when noCmd.
+	targetVS float64
+}
+
+// System implements sim.System and sim.AvoidanceSystem with
+// candidate-trajectory receding-horizon selection. Decisions are pure
+// functions of the inputs plus one bit of alert-edge state, so runs are
+// deterministic; the candidate menu is precomputed at construction and
+// DecideTracks performs no allocation.
+type System struct {
+	cfg        Config
+	lambda     float64 // vertical-to-horizontal normalization
+	candidates []candidate
+	alerting   bool
+	pair       [1]geom.Track // scratch for the pairwise Decide path
+}
+
+var (
+	_ sim.System          = (*System)(nil)
+	_ sim.AvoidanceSystem = (*System)(nil)
+)
+
+// New creates an MPC system.
+func New(cfg Config) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	// Menu order is fixed and ties resolve to the earliest entry, so the
+	// no-command candidate wins whenever maneuvering buys nothing.
+	cands := make([]candidate, 0, 2+2*len(cfg.ClimbRates))
+	cands = append(cands, candidate{noCmd: true}, candidate{targetVS: 0})
+	for _, r := range cfg.ClimbRates {
+		cands = append(cands, candidate{targetVS: r}, candidate{targetVS: -r})
+	}
+	return &System{
+		cfg:        cfg,
+		lambda:     geom.NMACHorizontal / geom.NMACVertical,
+		candidates: cands,
+	}, nil
+}
+
+// Reset implements sim.System.
+func (s *System) Reset() { s.alerting = false }
+
+// trajectoryCost scores one candidate: the summed exponential collision
+// cost of the predicted own trajectory against constant-velocity intruder
+// predictions, plus the deviation cost of the commanded rate change.
+func (s *System) trajectoryCost(cand candidate, own uav.State, tracks []geom.Track) float64 {
+	dt := s.cfg.Horizon / float64(s.cfg.Steps)
+	vs0 := own.Vel.Vs
+	target := cand.targetVS
+	if cand.noCmd {
+		target = vs0
+	}
+
+	cost := 0.0
+	if !cand.noCmd {
+		cost += s.cfg.DeviationWeight * math.Abs(target-vs0)
+	}
+
+	vh := own.VelVec()
+	pos := own.Pos
+	vs := vs0
+	maxDelta := s.cfg.Accel * dt
+	for k := 0; k < s.cfg.Steps; k++ {
+		// Own prediction: capture the target rate with bounded
+		// acceleration, hold ground track.
+		vs += geom.Clamp(target-vs, -maxDelta, maxDelta)
+		vs = geom.Clamp(vs, -s.cfg.MaxVerticalRate, s.cfg.MaxVerticalRate)
+		pos.X += vh.X * dt
+		pos.Y += vh.Y * dt
+		pos.Z += vs * dt
+
+		t := float64(k+1) * dt
+		for _, tr := range tracks {
+			// Intruder prediction: constant velocity.
+			ix := tr.Pos.X + tr.Vel.X*t
+			iy := tr.Pos.Y + tr.Vel.Y*t
+			iz := tr.Pos.Z + tr.Vel.Z*t
+			dx, dy := pos.X-ix, pos.Y-iy
+			dz := (pos.Z - iz) * s.lambda
+			d := math.Sqrt(dx*dx + dy*dy + dz*dz)
+			cost += s.cfg.CollisionWeight * math.Exp((s.cfg.SafetyDistance-d)*s.cfg.Sharpness)
+		}
+	}
+	return cost
+}
+
+// DecideTracks implements sim.AvoidanceSystem: score every admissible
+// candidate and command the cheapest; the no-command candidate winning
+// means clear of conflict.
+func (s *System) DecideTracks(_ float64, own uav.State, tracks []geom.Track, c sim.Constraint) sim.Decision {
+	best := candidate{noCmd: true}
+	bestCost := math.Inf(1)
+	for _, cand := range s.candidates {
+		// Coordination: never claim a sense the peer has taken.
+		if !cand.noCmd && ((c.BanUp && cand.targetVS > 0) || (c.BanDown && cand.targetVS < 0)) {
+			continue
+		}
+		cost := s.trajectoryCost(cand, own, tracks)
+		if cost < bestCost {
+			best, bestCost = cand, cost
+		}
+	}
+
+	if best.noCmd {
+		s.alerting = false
+		return sim.Decision{}
+	}
+	newAlert := !s.alerting
+	s.alerting = true
+	d := sim.Decision{
+		Cmd: uav.Command{
+			HasVS:      true,
+			TargetVS:   best.targetVS,
+			Strengthen: math.Abs(best.targetVS) >= s.cfg.StrengthenRate,
+		},
+		HasCmd:   true,
+		Alerting: true,
+		NewAlert: newAlert,
+	}
+	switch {
+	case best.targetVS > 0:
+		d.Sense = sim.SenseUp
+	case best.targetVS < 0:
+		d.Sense = sim.SenseDown
+	}
+	return d
+}
+
+// Decide implements sim.System over the single-track path.
+func (s *System) Decide(now float64, own uav.State, intrPos, intrVel geom.Vec3, c sim.Constraint) sim.Decision {
+	s.pair[0] = geom.Track{Pos: intrPos, Vel: intrVel}
+	return s.DecideTracks(now, own, s.pair[:], c)
+}

@@ -17,7 +17,10 @@ type ACASXU struct {
 	logic *acasx.Logic
 }
 
-var _ MultiSystem = (*ACASXU)(nil)
+var (
+	_ MultiSystem     = (*ACASXU)(nil)
+	_ AvoidanceSystem = (*ACASXU)(nil)
+)
 
 // NewACASXU wraps a built or loaded logic table.
 func NewACASXU(table *acasx.Table) *ACASXU {
@@ -56,6 +59,16 @@ func (a *ACASXU) DecideMulti(_ float64, own uav.State, tracks []geom.Track, c Co
 	return fromACASDecision(a.logic.DecideMulti(own, tracks, mask))
 }
 
+// DecideTracks implements AvoidanceSystem: the single-threat table query
+// for one track (the classic pairwise path, bit for bit), the
+// most-restrictive-first fusion for several.
+func (a *ACASXU) DecideTracks(now float64, own uav.State, tracks []geom.Track, c Constraint) Decision {
+	if len(tracks) == 1 {
+		return a.Decide(now, own, tracks[0].Pos, tracks[0].Vel, c)
+	}
+	return a.DecideMulti(now, own, tracks, c)
+}
+
 // Reset implements System.
 func (a *ACASXU) Reset() { a.logic.Reset() }
 
@@ -69,7 +82,10 @@ type ACASXUBelief struct {
 	logic *acasx.BeliefLogic
 }
 
-var _ MultiSystem = (*ACASXUBelief)(nil)
+var (
+	_ MultiSystem     = (*ACASXUBelief)(nil)
+	_ AvoidanceSystem = (*ACASXUBelief)(nil)
+)
 
 // NewACASXUBelief wraps a table with a belief-weighted executive.
 func NewACASXUBelief(table *acasx.Table, sigmas acasx.BeliefSigmas) (*ACASXUBelief, error) {
@@ -91,6 +107,16 @@ func (a *ACASXUBelief) Decide(_ float64, own uav.State, intrPos, intrVel geom.Ve
 func (a *ACASXUBelief) DecideMulti(_ float64, own uav.State, tracks []geom.Track, c Constraint) Decision {
 	mask := acasx.SenseMask{BanUp: c.BanUp, BanDown: c.BanDown}
 	return fromACASDecision(a.logic.DecideMulti(own, tracks, mask))
+}
+
+// DecideTracks implements AvoidanceSystem: the single-threat belief query
+// for one track (the classic pairwise path, bit for bit), the
+// most-restrictive-first fusion for several.
+func (a *ACASXUBelief) DecideTracks(now float64, own uav.State, tracks []geom.Track, c Constraint) Decision {
+	if len(tracks) == 1 {
+		return a.Decide(now, own, tracks[0].Pos, tracks[0].Vel, c)
+	}
+	return a.DecideMulti(now, own, tracks, c)
 }
 
 // Reset implements System.

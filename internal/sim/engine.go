@@ -54,9 +54,12 @@ type Decision struct {
 	Sense Sense
 }
 
-// System is a pluggable collision avoidance system under test. The engine
-// calls Decide once per decision period with the aircraft's own true state
-// and the (noisy, possibly filtered) intruder track.
+// System is a pluggable pairwise collision avoidance system under test:
+// Decide runs once per decision period with the aircraft's own true state
+// and one (noisy, possibly filtered) intruder track. It remains the
+// transport type of every factory and CLI; the engine itself consults the
+// multi-intruder-first AvoidanceSystem contract, lifting pairwise systems
+// onto it with Adapt.
 type System interface {
 	// Decide runs one decision cycle.
 	Decide(now float64, own uav.State, intrPos, intrVel geom.Vec3, c Constraint) Decision
@@ -69,7 +72,9 @@ type System interface {
 // and the system fuses the per-threat resolutions itself (the ACAS XU
 // executives fuse per-intruder table queries most-restrictive-first).
 // Systems that do not implement MultiSystem face only the nearest threat
-// in multi-intruder encounters.
+// in multi-intruder encounters. New backends should implement
+// AvoidanceSystem instead; MultiSystem survives as the compatibility
+// surface Adapt dispatches through.
 type MultiSystem interface {
 	System
 	// DecideMulti runs one decision cycle against every tracked intruder
@@ -95,13 +100,22 @@ func AppendSystemsFromPair(dst []System, factory func() (System, System), k int)
 	return dst
 }
 
-// NoSystem is the unequipped baseline: it never commands anything.
+// NoSystem is the unequipped baseline: it never commands anything. It is
+// stateless, so one value can equip any number of aircraft.
 type NoSystem struct{}
 
-var _ System = NoSystem{}
+var (
+	_ System          = NoSystem{}
+	_ AvoidanceSystem = NoSystem{}
+)
 
 // Decide implements System: always clear of conflict.
 func (NoSystem) Decide(float64, uav.State, geom.Vec3, geom.Vec3, Constraint) Decision {
+	return Decision{}
+}
+
+// DecideTracks implements AvoidanceSystem: always clear of conflict.
+func (NoSystem) DecideTracks(float64, uav.State, []geom.Track, Constraint) Decision {
 	return Decision{}
 }
 

@@ -179,7 +179,12 @@ type aircraft struct {
 	// every intruder keeps exactly one (the ownship).
 	tracks   []tracker.Tracker
 	hasTrack bool
-	system   System
+	// system is the decision engine consulted each cycle: the equipped
+	// System as-is when it implements AvoidanceSystem, the slot's embedded
+	// pairwise adapter otherwise.
+	system AvoidanceSystem
+	// adapter backs Adapt for pairwise systems without allocating per run.
+	adapter pairwiseAdapter
 	// lastDecision caches the most recent decision for coordination.
 	lastDecision Decision
 	alerts       int
@@ -200,7 +205,9 @@ func (a *aircraft) ensureTracks(n int, cfg tracker.Config) error {
 }
 
 // reset wires the aircraft for a fresh encounter: new initial state, new
-// (Reset) system, dropped tracks, cleared alert bookkeeping.
+// (Reset) system, dropped tracks, cleared alert bookkeeping. The equipped
+// system is lifted onto the AvoidanceSystem contract through the slot's
+// embedded adapter, so resetting never allocates.
 func (a *aircraft) reset(system System, initial uav.State) {
 	a.vehicle.Reset(initial)
 	if a.hasTrack {
@@ -208,7 +215,12 @@ func (a *aircraft) reset(system System, initial uav.State) {
 			a.tracks[i].Reset()
 		}
 	}
-	a.system = system
+	if as, ok := system.(AvoidanceSystem); ok {
+		a.system = as
+	} else {
+		a.adapter.sys = system
+		a.system = &a.adapter
+	}
 	system.Reset()
 	a.lastDecision = Decision{}
 	a.alerts = 0
@@ -249,6 +261,7 @@ type Runner struct {
 	posBefore   []geom.Vec3
 	posAfter    []geom.Vec3
 	trackBuf    []geom.Track
+	pairTrack   [1]geom.Track
 	alertCounts []int
 
 	// pairParams/pairSystems back the allocation-free pairwise Run wrapper.
@@ -599,10 +612,11 @@ func (a *aircraft) applyDecision(d Decision, now float64) {
 }
 
 // decideOwnship runs the ownship's decision cycle: surveil every intruder
-// (in encounter order, from the ownship's sensor stream), then resolve the
-// surviving tracks in one step — the pairwise Decide for a single track
-// (bit-identical to the classic engine), the system's multi-threat fusion
-// when it implements MultiSystem, and the nearest threat otherwise.
+// (in encounter order, from the ownship's sensor stream), then hand the
+// surviving tracks to the system's AvoidanceSystem step in one call. The
+// classic pairwise/MultiSystem/nearest-threat dispatch lives in the Adapt
+// adapter, so a single-track cycle is bit-identical to the historical
+// pairwise engine.
 func (r *Runner) decideOwnship(now float64) {
 	a := r.fleet[0]
 	sensorRNG := r.sensorR[0]
@@ -630,18 +644,7 @@ func (r *Runner) decideOwnship(now float64) {
 		}
 	}
 
-	own := a.vehicle.State()
-	var d Decision
-	if len(tracks) == 1 {
-		d = a.system.Decide(now, own, tracks[0].Pos, tracks[0].Vel, constraint)
-	} else if ms, ok := a.system.(MultiSystem); ok {
-		d = ms.DecideMulti(now, own, tracks, constraint)
-	} else {
-		// Systems without a multi-threat step face the nearest intruder —
-		// the most immediately pressing conflict.
-		n := nearestTrack(own.Pos, tracks)
-		d = a.system.Decide(now, own, tracks[n].Pos, tracks[n].Vel, constraint)
-	}
+	d := a.system.DecideTracks(now, a.vehicle.State(), tracks, constraint)
 	a.applyDecision(d, now)
 }
 
@@ -659,8 +662,9 @@ func nearestTrack(pos geom.Vec3, tracks []geom.Track) int {
 
 // decideIntruder runs intruder j's decision cycle against the ownship: one
 // surveillance observation from the intruder's own sensor stream, a
-// pairwise Decide, coordination constrained by the ownship's current
-// claimed sense.
+// single-track AvoidanceSystem step (the adapter routes it through the
+// pairwise Decide, bit-identical to the classic engine), coordination
+// constrained by the ownship's current claimed sense.
 func (r *Runner) decideIntruder(now float64, j int) {
 	a := r.fleet[j]
 	pos, vel, ok := r.surveil(a, 0, r.fleet[0], now, r.sensorR[j])
@@ -679,6 +683,7 @@ func (r *Runner) decideIntruder(now float64, j int) {
 		}
 	}
 
-	d := a.system.Decide(now, a.vehicle.State(), pos, vel, constraint)
+	r.pairTrack[0] = geom.Track{Pos: pos, Vel: vel}
+	d := a.system.DecideTracks(now, a.vehicle.State(), r.pairTrack[:], constraint)
 	a.applyDecision(d, now)
 }

@@ -1,0 +1,155 @@
+package sys
+
+import (
+	"math"
+
+	"acasxval/internal/acasx"
+	"acasxval/internal/apf"
+	"acasxval/internal/mpc"
+	"acasxval/internal/sim"
+	"acasxval/internal/svo"
+)
+
+// The built-in backends: every avoidance method the repository carries,
+// registered here rather than in their own packages so the method packages
+// (svo, mpc, apf) stay free of registry knowledge and usable on their own.
+func init() {
+	mustRegister(Backend{
+		Name: "none",
+		Doc:  "unequipped baseline: never commands",
+		New: func(_ Context, spec Spec) (sim.System, error) {
+			if err := applyParams(spec, nil); err != nil {
+				return nil, err
+			}
+			return sim.NoSystem{}, nil
+		},
+	})
+
+	mustRegister(Backend{
+		Name:       "acasx",
+		Doc:        "table-driven ACAS XU executive (offline model-based optimization)",
+		NeedsTable: true,
+		New: func(ctx Context, spec Spec) (sim.System, error) {
+			if err := applyParams(spec, nil); err != nil {
+				return nil, err
+			}
+			return sim.NewACASXU(ctx.Table), nil
+		},
+	})
+
+	beliefDefaults := acasx.DefaultBeliefSigmas()
+	mustRegister(Backend{
+		Name:       "belief",
+		Doc:        "QMDP belief-weighted ACAS XU executive (section IV POMDP question)",
+		NeedsTable: true,
+		Params: []ParamDoc{
+			{"sigma_h", "relative-altitude uncertainty, m", beliefDefaults.H},
+			{"sigma_rate", "vertical-rate uncertainty, m/s", beliefDefaults.Rate},
+			{"sigma_tau", "time-to-conflict uncertainty, s", beliefDefaults.Tau},
+		},
+		New: func(ctx Context, spec Spec) (sim.System, error) {
+			sigmas := acasx.DefaultBeliefSigmas()
+			if err := applyParams(spec, map[string]*float64{
+				"sigma_h":    &sigmas.H,
+				"sigma_rate": &sigmas.Rate,
+				"sigma_tau":  &sigmas.Tau,
+			}); err != nil {
+				return nil, err
+			}
+			return sim.NewACASXUBelief(ctx.Table, sigmas)
+		},
+	})
+
+	svoDefaults := svo.DefaultConfig()
+	mustRegister(Backend{
+		Name: "svo",
+		Doc:  "Selective Velocity Obstacle (Jenie et al.): geometric horizontal resolution",
+		Params: []ParamDoc{
+			{"protected_radius", "horizontal protected zone, m", svoDefaults.ProtectedRadius},
+			{"time_horizon", "conflict look-ahead, s", svoDefaults.TimeHorizon},
+			{"margin", "cone widening, rad", svoDefaults.Margin},
+		},
+		New: func(_ Context, spec Spec) (sim.System, error) {
+			cfg := svo.DefaultConfig()
+			if err := applyParams(spec, map[string]*float64{
+				"protected_radius": &cfg.ProtectedRadius,
+				"time_horizon":     &cfg.TimeHorizon,
+				"margin":           &cfg.Margin,
+			}); err != nil {
+				return nil, err
+			}
+			return svo.New(cfg)
+		},
+	})
+
+	mpcDefaults := mpc.DefaultConfig()
+	mustRegister(Backend{
+		Name: "mpc",
+		Doc:  "receding-horizon candidate-trajectory MPC: vertical rate menu scored by predicted collision cost",
+		Params: []ParamDoc{
+			{"horizon", "prediction horizon, s", mpcDefaults.Horizon},
+			{"steps", "prediction steps across the horizon", float64(mpcDefaults.Steps)},
+			{"safety_distance", "collision-cost reference separation, m", mpcDefaults.SafetyDistance},
+			{"sharpness", "collision-cost exponential rate, 1/m", mpcDefaults.Sharpness},
+			{"collision_weight", "collision cost scale", mpcDefaults.CollisionWeight},
+			{"deviation_weight", "maneuver cost per m/s of rate change", mpcDefaults.DeviationWeight},
+			{"strengthen_rate", "|rate| flown with strengthened accel, m/s", mpcDefaults.StrengthenRate},
+			{"accel", "predicted capture acceleration, m/s^2", mpcDefaults.Accel},
+			{"max_vertical_rate", "vertical rate bound, m/s", mpcDefaults.MaxVerticalRate},
+		},
+		New: func(_ Context, spec Spec) (sim.System, error) {
+			cfg := mpc.DefaultConfig()
+			steps := float64(cfg.Steps)
+			if err := applyParams(spec, map[string]*float64{
+				"horizon":           &cfg.Horizon,
+				"steps":             &steps,
+				"safety_distance":   &cfg.SafetyDistance,
+				"sharpness":         &cfg.Sharpness,
+				"collision_weight":  &cfg.CollisionWeight,
+				"deviation_weight":  &cfg.DeviationWeight,
+				"strengthen_rate":   &cfg.StrengthenRate,
+				"accel":             &cfg.Accel,
+				"max_vertical_rate": &cfg.MaxVerticalRate,
+			}); err != nil {
+				return nil, err
+			}
+			cfg.Steps = int(math.Round(steps))
+			return mpc.New(cfg)
+		},
+	})
+
+	apfDefaults := apf.DefaultConfig()
+	mustRegister(Backend{
+		Name: "apf",
+		Doc:  "artificial potential field: repulsive velocity along the cylinder-normalized separation gradient",
+		Params: []ParamDoc{
+			{"influence_radius", "repulsion onset separation, m", apfDefaults.InfluenceRadius},
+			{"repulsive_gain", "repulsive speed at zero separation, m/s", apfDefaults.RepulsiveGain},
+			{"closing_only", "1 gates repulsion on approach, 0 repulses always", 1},
+			{"vertical_escape", "minimum upward fraction of near-co-altitude repulsion", apfDefaults.VerticalEscape},
+			{"max_vertical_rate", "vertical rate bound, m/s", apfDefaults.MaxVerticalRate},
+			{"command_quantum", "vertical-rate command discretization, m/s (0 disables)", apfDefaults.CommandQuantum},
+			{"sense_deadband", "|rate change| below which no sense is claimed, m/s", apfDefaults.SenseDeadband},
+		},
+		New: func(_ Context, spec Spec) (sim.System, error) {
+			cfg := apf.DefaultConfig()
+			closing := 1.0
+			if !cfg.ClosingOnly {
+				closing = 0
+			}
+			if err := applyParams(spec, map[string]*float64{
+				"influence_radius":  &cfg.InfluenceRadius,
+				"repulsive_gain":    &cfg.RepulsiveGain,
+				"closing_only":      &closing,
+				"vertical_escape":   &cfg.VerticalEscape,
+				"max_vertical_rate": &cfg.MaxVerticalRate,
+				"command_quantum":   &cfg.CommandQuantum,
+				"sense_deadband":    &cfg.SenseDeadband,
+			}); err != nil {
+				return nil, err
+			}
+			cfg.ClosingOnly = closing != 0
+			return apf.New(cfg)
+		},
+	})
+}

@@ -46,12 +46,17 @@ run_bench() {
 	cat "$STAGE" >>"$TMP"
 }
 
-# E1-E8 + campaign sweep: one iteration by default — these exist to record
-# the reported shape metrics (NMAC rates, risk ratios, fitness) alongside
-# coarse timings.
+# E1-E8 + campaign sweep + backend comparison: one iteration by default —
+# these exist to record the reported shape metrics (NMAC rates, risk
+# ratios, fitness, per-backend risk ratios) alongside coarse timings.
 run_bench -run '^$' \
-  -bench '^(BenchmarkFig5HeadOn|BenchmarkFig6GASearch|BenchmarkFig7Fig8TailApproach|BenchmarkSectionIIIGrid2D|BenchmarkValueIterationFullTable|BenchmarkGAVersusRandomSearch|BenchmarkMonteCarloRiskRatio|BenchmarkCampaignSweep|BenchmarkIslandSearch)$' \
+  -bench '^(BenchmarkFig5HeadOn|BenchmarkFig6GASearch|BenchmarkFig7Fig8TailApproach|BenchmarkSectionIIIGrid2D|BenchmarkValueIterationFullTable|BenchmarkGAVersusRandomSearch|BenchmarkMonteCarloRiskRatio|BenchmarkCampaignSweep|BenchmarkIslandSearch|BenchmarkBackendComparison)$' \
   -benchtime "$BENCHTIME" -benchmem .
+
+# Every registered backend's decision cycle must stay allocation-free (CI
+# gates on both).
+run_bench -run '^$' -bench '^Benchmark(MPC|APF)Decide$' \
+  -benchtime "$LOOKUP_BENCHTIME" -benchmem ./internal/mpc ./internal/apf
 
 # The online hot path needs real iteration counts for a stable ns/op, and
 # its allocs/op must stay 0 (CI gates on it).
