@@ -25,7 +25,15 @@
 //	         [-islands N] [-intruders K] [-checkpoint state.json] [-resume]
 //	         [-seed-from-sweep results.jsonl] [-archive danger.jsonl]
 //	         [-migrate-every K] [-migrants M] [-threshold F] [-mindist D]
-//	         [-episode-workers W]
+//	         [-episode-workers W] [-faults <preset>]
+//	         [-evolve-faults] [-fault-penalty F]
+//
+// -faults fixes a surveillance degradation preset on every fitness
+// evaluation (both engines). -evolve-faults (island engine only) instead
+// appends the degradation profile to each genome, so the GA searches for
+// the combination of geometry and sensor faults that defeats avoidance;
+// -fault-penalty F subtracts F x severity from fitness so mild
+// degradations that still produce NMACs outrank brute-force blackouts.
 //
 // -islands 0 (the default) takes the island count from -params'
 // search.islands key (1 when no file is given), so a spec file declaring
@@ -43,6 +51,7 @@ import (
 	"acasxval/internal/cli"
 	"acasxval/internal/config"
 	"acasxval/internal/core"
+	"acasxval/internal/fault"
 	"acasxval/internal/ga"
 	"acasxval/internal/search"
 	"acasxval/internal/viz"
@@ -82,6 +91,10 @@ func run() error {
 		threshold   = flag.Float64("threshold", -1, "island engine: archive fitness threshold (-1 = spec default)")
 		minDist     = flag.Float64("mindist", -1, "island engine: archive dedup distance in [0, 1] (-1 = spec default)")
 		epWorkers   = flag.Int("episode-workers", 0, "island engine: parallel episode workers per fitness evaluation (0 = NumCPU/islands; results are identical for any count)")
+
+		faultsFlag   = flag.String("faults", "", "fixed surveillance degradation preset for every evaluation: "+cli.FaultNames()+" (empty = clean)")
+		evolveFaults = flag.Bool("evolve-faults", false, "island engine: co-evolve the degradation profile with the encounter geometry")
+		faultPenalty = flag.Float64("fault-penalty", 0, "island engine: severity parsimony weight subtracted from co-evolved fitness")
 	)
 	flag.Parse()
 
@@ -108,6 +121,9 @@ func run() error {
 	}
 	if set["intruders"] && *intruders < 1 {
 		return fmt.Errorf("-intruders %d < 1", *intruders)
+	}
+	if set["fault-penalty"] && *faultPenalty < 0 {
+		return fmt.Errorf("-fault-penalty %v < 0", *faultPenalty)
 	}
 	// The params file is loaded once here and shared by both paths.
 	var params *config.Params
@@ -151,6 +167,7 @@ func run() error {
 			checkpoint: *checkpoint, resume: *resume, seedSweep: *seedSweep,
 			archiveOut: *archiveOut, migEvery: *migEvery, migrants: *migrants,
 			threshold: *threshold, minDist: *minDist, epWorkers: *epWorkers,
+			faults: *faultsFlag, evolveFaults: *evolveFaults, faultPenalty: *faultPenalty,
 		})
 	}
 	if err := rejectFlags("requires the island engine (-islands >= 2)", []flagUse{
@@ -164,11 +181,14 @@ func run() error {
 		{"mindist", set["mindist"]},
 		{"episode-workers", set["episode-workers"]},
 		{"intruders", set["intruders"] && *intruders > 1},
+		{"evolve-faults", *evolveFaults},
+		{"fault-penalty", set["fault-penalty"]},
 	}); err != nil {
 		return err
 	}
 	// The serial path evolves the classic pairwise genome only; a spec file
-	// declaring a K-intruder search must run on the island engine.
+	// declaring a K-intruder or fault-co-evolving search must run on the
+	// island engine.
 	if params != nil {
 		k, err := params.IntOr("search.intruders", 0)
 		if err != nil {
@@ -176,6 +196,13 @@ func run() error {
 		}
 		if k > 1 {
 			return fmt.Errorf("%s: search.intruders %d requires the island engine (-islands >= 2, or a search.islands key)", *paramsFile, k)
+		}
+		evolve, err := params.BoolOr("search.faults.evolve", false)
+		if err != nil {
+			return err
+		}
+		if evolve {
+			return fmt.Errorf("%s: search.faults.evolve requires the island engine (-islands >= 2, or a search.islands key)", *paramsFile)
 		}
 	}
 
@@ -208,6 +235,19 @@ func run() error {
 		if set["seed"] {
 			cfg.GA.Seed = *seed
 		}
+		// A fixed degradation profile from the file applies to the serial
+		// path too; the flag below overrides it.
+		if cfg.Fitness.Run.Faults, err = fault.FromConfig(params, "search.faults."); err != nil {
+			return fmt.Errorf("%s: %w", *paramsFile, err)
+		}
+	}
+	if *faultsFlag != "" {
+		p, err := cli.FaultProfile(*faultsFlag)
+		if err != nil {
+			return err
+		}
+		cfg.Fitness.Run.Faults = p
+		fmt.Printf("degraded surveillance: %s profile on every evaluation\n", *faultsFlag)
 	}
 
 	table, err := maybeTable(*system, *tablePath, *coarse)
@@ -341,6 +381,9 @@ type islandArgs struct {
 	resume                            bool
 	migEvery, migrants, epWorkers     int
 	threshold, minDist                float64
+	faults                            string
+	evolveFaults                      bool
+	faultPenalty                      float64
 }
 
 // runIslands drives the island-model engine: spec from defaults or -params,
@@ -385,6 +428,19 @@ func runIslands(a islandArgs) error {
 	if a.set["mindist"] {
 		spec.ArchiveMinDistance = a.minDist
 	}
+	if a.faults != "" {
+		p, err := cli.FaultProfile(a.faults)
+		if err != nil {
+			return err
+		}
+		spec.Fitness.Run.Faults = p
+	}
+	if a.set["evolve-faults"] {
+		spec.EvolveFaults = a.evolveFaults
+	}
+	if a.set["fault-penalty"] {
+		spec.FaultPenalty = a.faultPenalty
+	}
 	if a.seedSweep != "" {
 		seeds, err := search.SweepSeedsFile(a.seedSweep, spec.Islands*spec.GA.PopulationSize)
 		if err != nil {
@@ -406,6 +462,11 @@ func runIslands(a islandArgs) error {
 	fmt.Printf("island search: system=%s islands=%d intruders=%d pop/island=%d gens=%d sims/encounter=%d seed=%d migration=%d every %d\n",
 		a.system, spec.Islands, spec.NumIntruders(), spec.GA.PopulationSize, spec.GA.Generations,
 		spec.Fitness.SimsPerEncounter, spec.Seed, spec.MigrationSize, spec.MigrationInterval)
+	if spec.EvolveFaults {
+		fmt.Printf("co-evolving surveillance degradation (severity penalty %g)\n", spec.FaultPenalty)
+	} else if spec.Fitness.Run.Faults.Enabled() {
+		fmt.Printf("degraded surveillance on every evaluation (severity %.2f)\n", spec.Fitness.Run.Faults.Severity())
+	}
 
 	lastGen := -1
 	res, err := search.Run(spec, sysFactory, search.Options{
@@ -435,6 +496,9 @@ func runIslands(a islandArgs) error {
 	fmt.Printf("best encounter: island %d generation %d fitness %.1f %s class %s\n",
 		res.Best.Island, res.Best.Generation, res.Best.Fitness,
 		res.Best.Params, res.Best.Geometry.Category)
+	if spec.EvolveFaults {
+		fmt.Printf("best co-evolved degradation: %+v (severity %.2f)\n", res.Best.Fault, res.Best.Fault.Severity())
+	}
 
 	archived := res.Archive.Len()
 	fmt.Printf("\ndanger archive: %d distinct encounters at fitness >= %.0f\n",

@@ -15,6 +15,7 @@
 //	encsim -preset <name> [-intruders K] [-runs 100]
 //	       [-system <name>] [-table table.acxt] [-seed 1]
 //	       [-svg out.svg] [-csv out.csv] [-plane plan|profile|time]
+//	       [-faults <preset>]
 //	encsim -genome "Gso,Vso,T,R,theta,Y,Gsi,psi,Vsi[,...]" ...
 package main
 
@@ -60,6 +61,7 @@ func run() error {
 		svgOut    = flag.String("svg", "", "write the (first-run) trajectory as SVG")
 		csvOut    = flag.String("csv", "", "write the (first-run) trajectory as CSV")
 		planeName = flag.String("plane", "profile", "ASCII/SVG projection: plan, profile or time")
+		faults    = flag.String("faults", "", "surveillance degradation preset: "+cli.FaultNames()+" (empty = clean)")
 	)
 	flag.Parse()
 
@@ -110,6 +112,12 @@ func run() error {
 	// Detailed first run with trajectory recording.
 	cfg := sim.DefaultRunConfig()
 	cfg.RecordTrajectory = true
+	if cfg.Faults, err = cli.FaultProfile(*faults); err != nil {
+		return err
+	}
+	if *faults != "" {
+		fmt.Printf("degraded surveillance: %s profile\n", *faults)
+	}
 	runner, err := sim.NewRunner(cfg)
 	if err != nil {
 		return err

@@ -7,7 +7,7 @@
 // Usage:
 //
 //	mceval [-samples 10000] [-seed 1] [-workers 0] [-table table.acxt]
-//	       [-coarse] [-systems acasx,belief,svo,none]
+//	       [-coarse] [-systems acasx,belief,svo,none] [-faults <preset>]
 //
 // Episodes fan out over -workers parallel simulation worlds (0 = NumCPU).
 // Every episode's random streams derive counter-style from (seed, episode
@@ -41,6 +41,7 @@ func run() error {
 		tablePath = flag.String("table", "", "logic table path (built on the fly when absent)")
 		coarse    = flag.Bool("coarse", false, "use the reduced-resolution table when building")
 		systems   = flag.String("systems", "acasx,svo,none", "comma-separated systems to evaluate: "+cli.SystemNames())
+		faults    = flag.String("faults", "", "surveillance degradation preset applied to every episode: "+cli.FaultNames()+" (empty = clean)")
 	)
 	flag.Parse()
 
@@ -52,6 +53,13 @@ func run() error {
 	cfg.Samples = *samples
 	cfg.Seed = *seed
 	cfg.Parallelism = *workers
+	var err error
+	if cfg.Run.Faults, err = cli.FaultProfile(*faults); err != nil {
+		return err
+	}
+	if *faults != "" {
+		fmt.Printf("degraded surveillance: %s profile on every episode\n", *faults)
+	}
 
 	names := strings.Split(*systems, ",")
 	estimates := make(map[string]*montecarlo.Estimate, len(names))

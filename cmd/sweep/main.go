@@ -11,7 +11,7 @@
 //
 //	sweep [-spec params/sweep-demo.params] [-out results.jsonl]
 //	      [-seed N] [-samples N] [-intruders K] [-table table.acxt] [-full]
-//	      [-extra danger.jsonl]
+//	      [-extra danger.jsonl] [-faults none,light,severe]
 //
 // With no -out, the JSONL stream precedes the summary on stdout. Timing
 // goes to stderr so stdout stays reproducible. -extra appends the entries
@@ -25,10 +25,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
 
 	"acasxval/internal/campaign"
 	"acasxval/internal/cli"
+	"acasxval/internal/fault"
 	"acasxval/internal/search"
 )
 
@@ -49,6 +51,7 @@ func run() (err error) {
 		full      = flag.Bool("full", false, "build the full-resolution table instead of the coarse one")
 		extra     = flag.String("extra", "", "danger-archive JSONL whose entries join the scenario axis")
 		intruders = flag.Int("intruders", 0, "override the spec's model-draw intruder count K (0 keeps the spec value; presets and explicit scenarios carry their own K)")
+		faults    = flag.String("faults", "", "override the spec's fault axis: comma list of degradation presets ("+cli.FaultNames()+"), or \"all\"")
 	)
 	flag.Parse()
 
@@ -76,6 +79,21 @@ func run() (err error) {
 	}
 	if *seed != 0 {
 		spec.Seed = *seed
+	}
+	if *faults != "" {
+		names := strings.Split(*faults, ",")
+		if len(names) == 1 && strings.TrimSpace(names[0]) == "all" {
+			names = fault.PresetNames()
+		}
+		spec.Faults = nil
+		for _, name := range names {
+			name = strings.TrimSpace(name)
+			p, err := fault.Preset(name)
+			if err != nil {
+				return err
+			}
+			spec.Faults = append(spec.Faults, campaign.FaultPoint{Name: name, Profile: p})
+		}
 	}
 	if *samples != 0 {
 		spec.Samples = *samples

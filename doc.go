@@ -68,6 +68,29 @@
 // widens model draws), and the island search evolves K-block genomes
 // (search.intruders). examples/multithreat walks the stack end to end.
 //
+// Validation also runs under degraded surveillance. A FaultProfile
+// (FaultPreset resolves the named severity ladder) composes four
+// deterministic degradations onto the sensor path — Gilbert-Elliott burst
+// dropout, a hard detection-range limit, per-aircraft measurement latency
+// through a fixed delay queue, and a scheduled coordination-loss window —
+// activated by setting RunConfig.Faults (the zero profile is the clean
+// channel and changes nothing). Fault randomness draws from dedicated
+// per-episode, per-aircraft streams seeded counter-style exactly like the
+// dynamics and sensor streams, only salted with a fault-layer constant:
+// stream identity is (seed, episode index, aircraft, salt), never "which
+// worker ran the episode" and never shared with the clean-path streams,
+// so enabling faults perturbs neither the encounter draws nor the sensor
+// noise sequence, and estimates stay bit-identical for any worker count.
+// Campaign specs cross a fault axis with every scenario, system and
+// variant (CampaignFaultPoint, campaign.faults.* keys) while replaying
+// each fault point against its clean sibling's episode seeds — paired
+// severity comparisons, not resampled ones. The island search either
+// fixes a profile on every evaluation (search.faults.preset) or
+// co-evolves the seven fault genes with the encounter geometry
+// (SearchSpec.EvolveFaults, with SearchSpec.FaultPenalty subtracting
+// penalty x severity so mild degradations that still defeat avoidance
+// outrank blackouts); examples/degraded walks the degraded-mode loop.
+//
 // Everything above bottoms out in one parallel, allocation-free episode
 // engine. Every episode's random streams derive counter-style from
 // (seed, episode index), so Monte-Carlo estimates are bit-identical for

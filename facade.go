@@ -7,6 +7,7 @@ import (
 	"acasxval/internal/campaign"
 	"acasxval/internal/core"
 	"acasxval/internal/encounter"
+	"acasxval/internal/fault"
 	"acasxval/internal/ga"
 	"acasxval/internal/grid2d"
 	"acasxval/internal/montecarlo"
@@ -109,6 +110,14 @@ type (
 	// SVOConfig parameterizes the Selective Velocity Obstacle baseline.
 	SVOConfig = svo.Config
 
+	// FaultProfile declares a deterministic surveillance degradation
+	// condition: Gilbert-Elliott burst dropout, a hard detection-range
+	// limit, per-aircraft measurement latency, and a scheduled
+	// coordination-link loss window. The zero value is the clean channel.
+	// Set it on RunConfig.Faults (or MonteCarloConfig.Run.Faults) to
+	// degrade every sensor measurement the systems under test consume.
+	FaultProfile = fault.Profile
+
 	// CampaignSpec declares a validation campaign: scenarios x systems x
 	// configuration variants.
 	CampaignSpec = campaign.Spec
@@ -125,6 +134,12 @@ type (
 	// CampaignScenario is one explicit fixed scenario of a campaign
 	// (typically a reloaded danger-archive entry).
 	CampaignScenario = campaign.Scenario
+	// CampaignFaultPoint is one point of a campaign's fault axis: a named
+	// surveillance degradation condition crossed with every scenario,
+	// system and variant. Fault points replay the same episode seeds as
+	// their clean siblings, so differences along the axis are paired
+	// degradation effects, not sampling noise.
+	CampaignFaultPoint = campaign.FaultPoint
 
 	// SearchSpec declares an island-model adversarial search.
 	SearchSpec = search.Spec
@@ -236,6 +251,13 @@ func Unequipped() (System, System) { return sim.NoSystem{}, sim.NoSystem{} }
 
 // DefaultRunConfig returns the paper-style simulation configuration.
 func DefaultRunConfig() RunConfig { return sim.DefaultRunConfig() }
+
+// FaultPreset looks up a named surveillance degradation profile
+// (FaultPresetNames lists the valid names; "none" is the clean channel).
+func FaultPreset(name string) (FaultProfile, error) { return fault.Preset(name) }
+
+// FaultPresetNames lists the degradation presets in a stable order.
+func FaultPresetNames() []string { return fault.PresetNames() }
 
 // RunEncounter simulates one encounter (deterministic under seed).
 func RunEncounter(p EncounterParams, own, intruder System, cfg RunConfig, seed uint64) (RunResult, error) {

@@ -70,12 +70,16 @@ func (s SystemSet) Names() []string {
 // Samples times against one system under one variant. It is the unit
 // streamed as a JSONL record.
 type CellResult struct {
-	Index      int     `json:"cell"`
-	Campaign   string  `json:"campaign"`
-	Scenario   string  `json:"scenario"`
-	Geometry   string  `json:"geometry"`
-	System     string  `json:"system"`
-	Variant    string  `json:"variant"`
+	Index    int    `json:"cell"`
+	Campaign string `json:"campaign"`
+	Scenario string `json:"scenario"`
+	Geometry string `json:"geometry"`
+	System   string `json:"system"`
+	Variant  string `json:"variant"`
+	// Fault names the fault-axis point the cell ran under; omitted for
+	// the fault-free point, so unfaulted sweeps keep their historical
+	// byte stream.
+	Fault      string  `json:"fault,omitempty"`
 	Samples    int     `json:"samples"`
 	NMACs      int     `json:"nmacs"`
 	PNMAC      float64 `json:"p_nmac"`
@@ -111,8 +115,14 @@ func (c CellResult) MultiEncounterParams() (encounter.MultiParams, error) {
 // — no baseline configured, or a baseline with zero events — the summary
 // ranking falls back to raw pooled P(NMAC).
 type SystemSummary struct {
-	System       string  `json:"system"`
-	Variant      string  `json:"variant"`
+	System  string `json:"system"`
+	Variant string `json:"variant"`
+	// Fault names the fault-axis point the group ran under (empty for
+	// the fault-free point). Risk ratios compare against the unequipped
+	// baseline under the SAME degradation, so a ratio near 1 under a
+	// severe profile means the system has lost its protective value,
+	// not that the baseline improved.
+	Fault        string  `json:"fault,omitempty"`
 	Cells        int     `json:"cells"`
 	Samples      int     `json:"samples"`
 	NMACs        int     `json:"nmacs"`
@@ -130,9 +140,10 @@ type Result struct {
 	// Cells holds every cell result in deterministic cell order (the same
 	// order the JSONL stream uses).
 	Cells []CellResult
-	// Summaries ranks (system, variant) aggregates: variants in declared
-	// order; within a variant, systems by ascending risk ratio (systems
-	// without a baseline rank after those with one, by pooled P(NMAC)).
+	// Summaries ranks (system, variant, fault) aggregates: variants in
+	// declared order, fault points in declared order within a variant;
+	// within each group, systems by ascending risk ratio (systems without
+	// a baseline rank after those with one, by pooled P(NMAC)).
 	Summaries []SystemSummary
 	// TotalRuns counts individual encounter simulations.
 	TotalRuns int
@@ -146,10 +157,13 @@ type cell struct {
 	params   encounter.MultiParams
 	system   string
 	variant  Variant
+	flt      FaultPoint
 }
 
 // cells expands the spec's cross-product in deterministic order:
-// variant-major, then scenario, then system.
+// variant-major, then fault point, then scenario, then system. The
+// default single fault point reproduces the historical cell order
+// exactly.
 func (s Spec) cells() ([]cell, error) {
 	type scenario struct {
 		name     string
@@ -178,16 +192,19 @@ func (s Spec) cells() ([]cell, error) {
 	}
 	var cells []cell
 	for _, v := range s.variantsOrDefault() {
-		for _, sc := range scenarios {
-			for _, sys := range s.Systems {
-				cells = append(cells, cell{
-					index:    len(cells),
-					scenario: sc.name,
-					geometry: sc.geometry,
-					params:   sc.params,
-					system:   sys,
-					variant:  v,
-				})
+		for _, fp := range s.faultsOrDefault() {
+			for _, sc := range scenarios {
+				for _, sys := range s.Systems {
+					cells = append(cells, cell{
+						index:    len(cells),
+						scenario: sc.name,
+						geometry: sc.geometry,
+						params:   sc.params,
+						system:   sys,
+						variant:  v,
+						flt:      fp,
+					})
+				}
 			}
 		}
 	}
@@ -267,6 +284,7 @@ func Run(spec Spec, systems SystemSet, jsonl io.Writer) (*Result, error) {
 						Geometry:   c.geometry,
 						System:     c.system,
 						Variant:    c.variant.Name,
+						Fault:      c.flt.label(),
 						Samples:    est.Samples,
 						NMACs:      est.NMACs,
 						PNMAC:      est.PNMAC,
@@ -345,7 +363,10 @@ func Run(spec Spec, systems SystemSet, jsonl io.Writer) (*Result, error) {
 // scenarios — cannot shift the stochastic draws of every pre-existing
 // cell. Identical cells across sweeps report identical numbers, which is
 // what makes a `sweep -extra` run comparable against the sweep it grew
-// from.
+// from. The fault point is deliberately absent from the identity: every
+// severity level replays the same episode seeds as its clean sibling, so
+// differences along the fault axis are paired — pure degradation effect,
+// not sampling noise.
 func cellSeed(seed uint64, c cell) uint64 {
 	h := fnv.New64a()
 	// Length-prefix each component: names are arbitrary strings, so a
@@ -367,20 +388,28 @@ func runCell(spec Spec, c cell, factory montecarlo.SystemFactory, episodeWorkers
 		Seed:        cellSeed(spec.Seed, c),
 		Parallelism: episodeWorkers,
 	}
+	// The fault axis replaces whatever profile the base configuration
+	// carried: each point IS the cell's degradation condition.
+	cfg.Run.Faults = c.flt.Profile
 	return montecarlo.EvaluateMultiWithScratch(montecarlo.MultiPointModel(c.params), factory, cfg, scratch)
 }
 
-// summarize pools cells into per-(system, variant) aggregates and ranks
-// them.
+// summarize pools cells into per-(system, variant, fault) aggregates and
+// ranks them: variants in declared order, fault points in declared order
+// within a variant, systems by ascending risk ratio within each group.
+// Each risk ratio divides by the unequipped baseline under the SAME
+// variant and the SAME fault point, so degraded groups measure how much
+// protective value survives the degradation, not how much the degradation
+// hurt the baseline.
 func summarize(spec Spec, cells []CellResult) []SystemSummary {
-	type key struct{ system, variant string }
+	type key struct{ system, variant, fault string }
 	type agg struct {
 		cells, samples, nmacs int
 		alerted, sepWeighted  float64
 	}
 	aggs := make(map[key]*agg)
 	for _, c := range cells {
-		k := key{c.System, c.Variant}
+		k := key{c.System, c.Variant, c.Fault}
 		a := aggs[k]
 		if a == nil {
 			a = &agg{}
@@ -395,62 +424,88 @@ func summarize(spec Spec, cells []CellResult) []SystemSummary {
 
 	var out []SystemSummary
 	for _, v := range spec.variantsOrDefault() {
-		var group []SystemSummary
-		baselinePNMAC := math.NaN()
-		if a, ok := aggs[key{BaselineSystem, v.Name}]; ok && a.samples > 0 {
-			baselinePNMAC = float64(a.nmacs) / float64(a.samples)
+		for _, fp := range spec.faultsOrDefault() {
+			var group []SystemSummary
+			baselinePNMAC := math.NaN()
+			if a, ok := aggs[key{BaselineSystem, v.Name, fp.label()}]; ok && a.samples > 0 {
+				baselinePNMAC = float64(a.nmacs) / float64(a.samples)
+			}
+			for _, sys := range spec.Systems {
+				a, ok := aggs[key{sys, v.Name, fp.label()}]
+				if !ok || a.samples == 0 {
+					continue
+				}
+				s := SystemSummary{
+					System:     sys,
+					Variant:    v.Name,
+					Fault:      fp.label(),
+					Cells:      a.cells,
+					Samples:    a.samples,
+					NMACs:      a.nmacs,
+					PNMAC:      float64(a.nmacs) / float64(a.samples),
+					AlertRate:  a.alerted / float64(a.samples),
+					MeanMinSep: a.sepWeighted / float64(a.samples),
+				}
+				if !math.IsNaN(baselinePNMAC) && baselinePNMAC > 0 {
+					s.RiskRatio = s.PNMAC / baselinePNMAC
+					s.HasRiskRatio = true
+				}
+				group = append(group, s)
+			}
+			sort.SliceStable(group, func(i, j int) bool {
+				a, b := group[i], group[j]
+				if a.HasRiskRatio != b.HasRiskRatio {
+					return a.HasRiskRatio
+				}
+				if a.HasRiskRatio && a.RiskRatio != b.RiskRatio {
+					return a.RiskRatio < b.RiskRatio
+				}
+				if a.PNMAC != b.PNMAC {
+					return a.PNMAC < b.PNMAC
+				}
+				return a.System < b.System
+			})
+			out = append(out, group...)
 		}
-		for _, sys := range spec.Systems {
-			a, ok := aggs[key{sys, v.Name}]
-			if !ok || a.samples == 0 {
-				continue
-			}
-			s := SystemSummary{
-				System:     sys,
-				Variant:    v.Name,
-				Cells:      a.cells,
-				Samples:    a.samples,
-				NMACs:      a.nmacs,
-				PNMAC:      float64(a.nmacs) / float64(a.samples),
-				AlertRate:  a.alerted / float64(a.samples),
-				MeanMinSep: a.sepWeighted / float64(a.samples),
-			}
-			if !math.IsNaN(baselinePNMAC) && baselinePNMAC > 0 {
-				s.RiskRatio = s.PNMAC / baselinePNMAC
-				s.HasRiskRatio = true
-			}
-			group = append(group, s)
-		}
-		sort.SliceStable(group, func(i, j int) bool {
-			a, b := group[i], group[j]
-			if a.HasRiskRatio != b.HasRiskRatio {
-				return a.HasRiskRatio
-			}
-			if a.HasRiskRatio && a.RiskRatio != b.RiskRatio {
-				return a.RiskRatio < b.RiskRatio
-			}
-			if a.PNMAC != b.PNMAC {
-				return a.PNMAC < b.PNMAC
-			}
-			return a.System < b.System
-		})
-		out = append(out, group...)
 	}
 	return out
 }
 
-// SummaryTable renders the ranked summaries as an aligned text table.
+// SummaryTable renders the ranked summaries as an aligned text table. The
+// fault column appears only when some group ran under a named fault
+// point, so unfaulted sweeps keep their historical layout.
 func (r *Result) SummaryTable() string {
+	withFaults := false
+	for _, s := range r.Summaries {
+		if s.Fault != "" {
+			withFaults = true
+			break
+		}
+	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-10s %-14s %6s %8s %9s %11s %14s %11s\n",
-		"system", "variant", "cells", "samples", "P(NMAC)", "alert rate", "mean min sep", "risk ratio")
+	if withFaults {
+		fmt.Fprintf(&b, "%-10s %-14s %-10s %6s %8s %9s %11s %14s %11s\n",
+			"system", "variant", "fault", "cells", "samples", "P(NMAC)", "alert rate", "mean min sep", "risk ratio")
+	} else {
+		fmt.Fprintf(&b, "%-10s %-14s %6s %8s %9s %11s %14s %11s\n",
+			"system", "variant", "cells", "samples", "P(NMAC)", "alert rate", "mean min sep", "risk ratio")
+	}
 	for _, s := range r.Summaries {
 		ratio := "-"
 		if s.HasRiskRatio {
 			ratio = fmt.Sprintf("%.4f", s.RiskRatio)
 		}
-		fmt.Fprintf(&b, "%-10s %-14s %6d %8d %9.4f %11.2f %12.1f m %11s\n",
-			s.System, s.Variant, s.Cells, s.Samples, s.PNMAC, s.AlertRate, s.MeanMinSep, ratio)
+		if withFaults {
+			flt := s.Fault
+			if flt == "" {
+				flt = "-"
+			}
+			fmt.Fprintf(&b, "%-10s %-14s %-10s %6d %8d %9.4f %11.2f %12.1f m %11s\n",
+				s.System, s.Variant, flt, s.Cells, s.Samples, s.PNMAC, s.AlertRate, s.MeanMinSep, ratio)
+		} else {
+			fmt.Fprintf(&b, "%-10s %-14s %6d %8d %9.4f %11.2f %12.1f m %11s\n",
+				s.System, s.Variant, s.Cells, s.Samples, s.PNMAC, s.AlertRate, s.MeanMinSep, ratio)
+		}
 	}
 	return b.String()
 }

@@ -30,10 +30,33 @@ import (
 
 	"acasxval/internal/config"
 	"acasxval/internal/encounter"
+	"acasxval/internal/fault"
 	"acasxval/internal/montecarlo"
 	"acasxval/internal/sim"
 	"acasxval/internal/stats"
 )
+
+// FaultPoint is one point of the campaign's fault axis: a named
+// surveillance-degradation profile crossed against every scenario,
+// system and variant. The conventional name for the zero profile is
+// "none"; cells under it serialize without a fault field and are
+// byte-identical to a campaign with no fault axis at all.
+type FaultPoint struct {
+	// Name labels the point in cell records and summaries.
+	Name string
+	// Profile is the degradation applied to every run of the point's
+	// cells.
+	Profile fault.Profile
+}
+
+// label returns the name recorded in cell results: empty for a disabled
+// profile, so unfaulted sweeps keep their historical byte stream.
+func (fp FaultPoint) label() string {
+	if !fp.Profile.Enabled() {
+		return ""
+	}
+	return fp.Name
+}
 
 // Variant is one run-configuration axis point: a named set of overrides
 // applied on top of the campaign's base RunConfig. Nil pointer fields
@@ -126,6 +149,16 @@ type Spec struct {
 	// implicit "default" variant.
 	Variants []Variant
 
+	// Faults is the surveillance-degradation axis, crossed against
+	// preset x system x variant like variants are. Empty means a single
+	// implicit point: the zero profile, or Run.Faults when the base run
+	// configuration already carries one (the facade pass-through).
+	// Fault points deliberately do not enter the cell-seed identity, so
+	// every severity level replays the same episode seeds as its clean
+	// sibling — severity comparisons are paired, and an axis of just
+	// "none" is byte-identical to no axis at all.
+	Faults []FaultPoint
+
 	// Samples is the per-cell simulation count (noise seeds vary per
 	// sample; default 10).
 	Samples int
@@ -161,6 +194,19 @@ func (s Spec) variantsOrDefault() []Variant {
 		return []Variant{{Name: "default"}}
 	}
 	return s.Variants
+}
+
+// faultsOrDefault returns the fault axis, inserting the implicit single
+// point when none is declared: the base run configuration's profile
+// (named "base") when it is enabled, the zero "none" profile otherwise.
+func (s Spec) faultsOrDefault() []FaultPoint {
+	if len(s.Faults) == 0 {
+		if s.Run.Faults.Enabled() {
+			return []FaultPoint{{Name: "base", Profile: s.Run.Faults}}
+		}
+		return []FaultPoint{{Name: "none"}}
+	}
+	return s.Faults
 }
 
 // model returns the encounter model sampled for ModelDraws.
@@ -286,6 +332,28 @@ func (s Spec) Validate() error {
 			return fmt.Errorf("campaign: variant %q: %w", v.Name, err)
 		}
 	}
+	seenFault := make(map[string]bool, len(s.Faults))
+	disabled := 0
+	for _, fp := range s.faultsOrDefault() {
+		if fp.Name == "" {
+			return fmt.Errorf("campaign: fault point with empty name")
+		}
+		if seenFault[fp.Name] {
+			return fmt.Errorf("campaign: duplicate fault point %q", fp.Name)
+		}
+		seenFault[fp.Name] = true
+		if err := fp.Profile.Validate(); err != nil {
+			return fmt.Errorf("campaign: fault point %q: %w", fp.Name, err)
+		}
+		if !fp.Profile.Enabled() {
+			// Disabled points all serialize with the empty fault label,
+			// so a second one would be indistinguishable in the record
+			// stream and the summaries.
+			if disabled++; disabled > 1 {
+				return fmt.Errorf("campaign: fault axis has more than one fault-free point")
+			}
+		}
+	}
 	return nil
 }
 
@@ -313,6 +381,18 @@ func (s Spec) Validate() error {
 //	campaign.variant.N.tracker
 //	campaign.variant.N.decision.period
 //	campaign.variant.N.overtime
+//	campaign.faults             fault axis: comma list of preset severity
+//	                            profiles (fault.PresetNames), or "all"
+//	campaign.faults.N.name      custom fault points appended after the
+//	                            presets, N = 0, 1, ... (contiguous)
+//	campaign.faults.N.preset    optional base profile the fields override
+//	campaign.faults.N.burst.enter
+//	campaign.faults.N.burst.exit
+//	campaign.faults.N.burst.drop
+//	campaign.faults.N.range
+//	campaign.faults.N.latency
+//	campaign.faults.N.commloss.start
+//	campaign.faults.N.commloss.duration
 func FromConfig(c *config.Params) (Spec, error) {
 	s := DefaultSpec()
 	s.Name = c.StringOr("campaign.name", s.Name)
@@ -391,6 +471,33 @@ func FromConfig(c *config.Params) (Spec, error) {
 	if err := validateVariantKeys(c, len(s.Variants)); err != nil {
 		return s, err
 	}
+	names := c.StringsOr("campaign.faults", nil)
+	if len(names) == 1 && names[0] == "all" {
+		names = fault.PresetNames()
+	}
+	for _, name := range names {
+		p, err := fault.Preset(name)
+		if err != nil {
+			return s, fmt.Errorf("campaign: %w", err)
+		}
+		s.Faults = append(s.Faults, FaultPoint{Name: name, Profile: p})
+	}
+	parsedFaults := 0
+	for n := 0; ; n++ {
+		prefix := fmt.Sprintf("campaign.faults.%d.", n)
+		if !c.Has(prefix + "name") {
+			break
+		}
+		p, err := fault.FromConfig(c, prefix)
+		if err != nil {
+			return s, fmt.Errorf("campaign: fault point %d: %w", n, err)
+		}
+		s.Faults = append(s.Faults, FaultPoint{Name: c.StringOr(prefix+"name", ""), Profile: p})
+		parsedFaults++
+	}
+	if err := validateFaultKeys(c, parsedFaults); err != nil {
+		return s, err
+	}
 	return s, s.Validate()
 }
 
@@ -422,6 +529,47 @@ func validateVariantKeys(c *config.Params, parsed int) error {
 		case "name", "samples", "coordination", "tracker", "decision.period", "overtime":
 		default:
 			return fmt.Errorf("campaign: unknown variant field in %q", key)
+		}
+	}
+	return nil
+}
+
+// validateFaultKeys rejects campaign.faults.* keys the parse loop did not
+// consume, in the same menu style as validateVariantKeys: a numbering gap,
+// a point without a name, or a typoed profile field would otherwise
+// silently sweep the wrong degradation.
+func validateFaultKeys(c *config.Params, parsed int) error {
+	const pfx = "campaign.faults."
+	fields := append([]string{"name", fault.KeyPreset}, fault.FieldNames()...)
+	for _, key := range c.Keys() {
+		if !strings.HasPrefix(key, pfx) {
+			continue
+		}
+		rest := key[len(pfx):]
+		dot := strings.IndexByte(rest, '.')
+		var n int
+		var err error
+		if dot < 0 {
+			err = fmt.Errorf("no field")
+		} else {
+			n, err = strconv.Atoi(rest[:dot])
+		}
+		if err != nil || n < 0 || strconv.Itoa(n) != rest[:dot] {
+			return fmt.Errorf("campaign: malformed fault key %q (want campaign.faults.N.field)", key)
+		}
+		if n >= parsed {
+			return fmt.Errorf("campaign: orphaned fault key %q (fault points are numbered contiguously from 0, each with a name)", key)
+		}
+		field := rest[dot+1:]
+		ok := false
+		for _, f := range fields {
+			if field == f {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return fmt.Errorf("campaign: unknown fault field in %q (want one of %s)", key, strings.Join(fields, ", "))
 		}
 	}
 	return nil

@@ -7,8 +7,10 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 
 	"acasxval/internal/acasx"
+	"acasxval/internal/fault"
 	"acasxval/internal/sim"
 	"acasxval/internal/sys"
 )
@@ -57,3 +59,13 @@ func SystemFactory(name string, table *acasx.Table) (func() (sim.System, sim.Sys
 // SystemNames renders the registered system names as a comma-separated
 // list, for -system flag help text.
 func SystemNames() string { return sys.NamesList() }
+
+// FaultProfile resolves a -faults flag value through the fault preset
+// menu; the empty string is the clean (zero) profile. Unknown-name errors
+// quote the live preset list, so the CLIs and the fault package cannot
+// drift apart.
+func FaultProfile(name string) (fault.Profile, error) { return fault.Resolve(name) }
+
+// FaultNames renders the fault preset names as a comma-separated list,
+// for -faults flag help text.
+func FaultNames() string { return strings.Join(fault.PresetNames(), ", ") }

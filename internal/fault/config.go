@@ -1,0 +1,97 @@
+package fault
+
+import (
+	"fmt"
+	"strconv"
+
+	"acasxval/internal/config"
+)
+
+// Field suffixes of the profile codec, relative to an axis prefix such
+// as "campaign.faults.0.". FieldNames is the menu the campaign key
+// validator reports for unknown keys.
+const (
+	KeyPreset           = "preset"
+	KeyBurstEnter       = "burst.enter"
+	KeyBurstExit        = "burst.exit"
+	KeyBurstDrop        = "burst.drop"
+	KeyDetectionRange   = "range"
+	KeyLatency          = "latency"
+	KeyCommLossStart    = "commloss.start"
+	KeyCommLossDuration = "commloss.duration"
+)
+
+// FieldNames lists the profile field suffixes accepted by FromConfig,
+// excluding KeyPreset (which selects a base profile rather than a field).
+func FieldNames() []string {
+	return []string{
+		KeyBurstEnter, KeyBurstExit, KeyBurstDrop,
+		KeyDetectionRange, KeyLatency,
+		KeyCommLossStart, KeyCommLossDuration,
+	}
+}
+
+// FromConfig decodes a profile from the keys prefix+<field>. An optional
+// prefix+"preset" key names a base profile that individual fields then
+// override, so a params file can say "severe, but with no latency". The
+// decoded profile is validated.
+func FromConfig(c *config.Params, prefix string) (Profile, error) {
+	p := Profile{}
+	if name := c.StringOr(prefix+KeyPreset, ""); name != "" {
+		base, err := Preset(name)
+		if err != nil {
+			return Profile{}, err
+		}
+		p = base
+	}
+	var err error
+	if p.BurstEnter, err = c.FloatOr(prefix+KeyBurstEnter, p.BurstEnter); err != nil {
+		return Profile{}, err
+	}
+	if p.BurstExit, err = c.FloatOr(prefix+KeyBurstExit, p.BurstExit); err != nil {
+		return Profile{}, err
+	}
+	if p.BurstDrop, err = c.FloatOr(prefix+KeyBurstDrop, p.BurstDrop); err != nil {
+		return Profile{}, err
+	}
+	if p.DetectionRange, err = c.FloatOr(prefix+KeyDetectionRange, p.DetectionRange); err != nil {
+		return Profile{}, err
+	}
+	if p.Latency, err = c.IntOr(prefix+KeyLatency, p.Latency); err != nil {
+		return Profile{}, err
+	}
+	if p.CommLossStart, err = c.FloatOr(prefix+KeyCommLossStart, p.CommLossStart); err != nil {
+		return Profile{}, err
+	}
+	if p.CommLossDuration, err = c.FloatOr(prefix+KeyCommLossDuration, p.CommLossDuration); err != nil {
+		return Profile{}, err
+	}
+	if err := p.Validate(); err != nil {
+		return Profile{}, err
+	}
+	return p, nil
+}
+
+// ToConfig writes the profile under prefix as explicit field keys, the
+// exact inverse of FromConfig with no preset key. Floats render with
+// strconv's shortest round-tripping form, so decode(encode(p)) == p for
+// every valid profile (FuzzFaultProfileParams holds the codec to that).
+func ToConfig(p Profile, c *config.Params, prefix string) {
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	c.Set(prefix+KeyBurstEnter, f(p.BurstEnter))
+	c.Set(prefix+KeyBurstExit, f(p.BurstExit))
+	c.Set(prefix+KeyBurstDrop, f(p.BurstDrop))
+	c.Set(prefix+KeyDetectionRange, f(p.DetectionRange))
+	c.Set(prefix+KeyLatency, fmt.Sprint(p.Latency))
+	c.Set(prefix+KeyCommLossStart, f(p.CommLossStart))
+	c.Set(prefix+KeyCommLossDuration, f(p.CommLossDuration))
+}
+
+// Resolve turns a CLI-style profile reference — a preset name — into a
+// profile. The empty string resolves to the zero (fault-free) profile.
+func Resolve(name string) (Profile, error) {
+	if name == "" {
+		return Profile{}, nil
+	}
+	return Preset(name)
+}

@@ -1,0 +1,217 @@
+// Package fault models deterministic surveillance and datalink
+// degradation layered on top of the white-noise sensor model: burst
+// dropout (a Gilbert–Elliott two-state channel), a hard detection-range
+// limit, fixed measurement latency (the logic acts on stale state), and
+// scheduled coordination-link loss windows.
+//
+// The paper validates the collision avoidance logic against a
+// near-faithful surveillance picture; this package supplies the degraded
+// pictures that a fielded system actually sees, as a composable profile
+// that the simulation runner applies between the sensor and the tracker.
+// Every random draw comes from a dedicated per-episode, per-aircraft
+// fault stream, so enabling faults never perturbs the dynamics or sensor
+// streams and estimates stay bit-identical for any worker count.
+package fault
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"acasxval/internal/stats"
+	"acasxval/internal/uav"
+)
+
+// MaxLatency bounds the delay queue so scratch stays small and a typo in
+// a params file cannot demand a gigabyte ring buffer.
+const MaxLatency = 64
+
+// Profile describes one degraded-surveillance condition. The zero value
+// means "no faults" and is guaranteed to reproduce the fault-free
+// simulation bit-for-bit. All fields are scalars so Profile is
+// comparable and can ride inside sim.RunConfig, which is compared
+// with == on reconfiguration.
+type Profile struct {
+	// BurstEnter is the per-observation probability of the channel
+	// transitioning from the good state to the bad (burst) state.
+	BurstEnter float64
+	// BurstExit is the per-observation probability of leaving the bad
+	// state; 1/BurstExit is the mean burst length in decision cycles.
+	BurstExit float64
+	// BurstDrop is the probability that an observation made while the
+	// channel is in the bad state is lost.
+	BurstDrop float64
+	// DetectionRange is the maximum true 3-D distance (metres) at which
+	// an intruder is observable; 0 means unlimited.
+	DetectionRange float64
+	// Latency delays every delivered observation by this many whole
+	// decision cycles, so the logic acts on stale state.
+	Latency int
+	// CommLossStart and CommLossDuration schedule a coordination-link
+	// outage: inside [start, start+duration) seconds both aircraft
+	// select advisories without the coordination constraint, as if the
+	// air-to-air datalink dropped mid-encounter. Duration 0 disables.
+	CommLossStart    float64
+	CommLossDuration float64
+}
+
+// Enabled reports whether the profile degrades anything at all. The
+// runner skips every fault code path — including fault-stream seeding —
+// when this is false, preserving the exact fault-free byte stream.
+func (p Profile) Enabled() bool { return p != Profile{} }
+
+// BurstEnabled reports whether the Gilbert–Elliott channel can drop
+// observations.
+func (p Profile) BurstEnabled() bool {
+	return p.BurstEnter > 0 && p.BurstDrop > 0
+}
+
+// CommLost reports whether the coordination link is down at time now.
+func (p Profile) CommLost(now float64) bool {
+	return p.CommLossDuration > 0 && now >= p.CommLossStart && now < p.CommLossStart+p.CommLossDuration
+}
+
+// Validate checks field ranges.
+func (p Profile) Validate() error {
+	if !stats.AllFinite(p.BurstEnter, p.BurstExit, p.BurstDrop,
+		p.DetectionRange, p.CommLossStart, p.CommLossDuration) {
+		return fmt.Errorf("fault: profile contains non-finite values")
+	}
+	for _, f := range [...]struct {
+		name string
+		v    float64
+	}{
+		{"burst enter probability", p.BurstEnter},
+		{"burst exit probability", p.BurstExit},
+		{"burst drop probability", p.BurstDrop},
+	} {
+		if f.v < 0 || f.v > 1 {
+			return fmt.Errorf("fault: %s %v outside [0, 1]", f.name, f.v)
+		}
+	}
+	if p.BurstEnter > 0 && p.BurstExit == 0 {
+		return fmt.Errorf("fault: burst enter %v with exit 0 never recovers; set an exit probability", p.BurstEnter)
+	}
+	if p.DetectionRange < 0 {
+		return fmt.Errorf("fault: negative detection range %v", p.DetectionRange)
+	}
+	if p.Latency < 0 || p.Latency > MaxLatency {
+		return fmt.Errorf("fault: latency %d outside [0, %d] decision cycles", p.Latency, MaxLatency)
+	}
+	if p.CommLossStart < 0 {
+		return fmt.Errorf("fault: negative comm-loss start %v", p.CommLossStart)
+	}
+	if p.CommLossDuration < 0 {
+		return fmt.Errorf("fault: negative comm-loss duration %v", p.CommLossDuration)
+	}
+	return nil
+}
+
+// Severity maps the profile onto [0, 1]: 0 for the zero profile, rising
+// with each degradation mechanism. The search engine uses it as a
+// parsimony penalty so co-evolved fault genes answer "what is the
+// SMALLEST degradation that defeats the logic?" rather than simply
+// maxing every knob.
+func (p Profile) Severity() float64 {
+	s := 0.0
+	if p.BurstEnabled() {
+		// Stationary loss fraction of the Gilbert–Elliott channel:
+		// time share of the bad state times the in-burst drop rate.
+		bad := p.BurstEnter / (p.BurstEnter + p.BurstExit)
+		s += bad * p.BurstDrop
+	}
+	if p.DetectionRange > 0 {
+		// Shorter range is more severe; 10 km is effectively unlimited
+		// for the encounter geometries in the model.
+		frac := 1 - p.DetectionRange/10000
+		if frac > 0 {
+			s += frac
+		}
+	}
+	s += float64(p.Latency) / MaxLatency * 4 // 16 cycles ≈ one full unit
+	if p.CommLossDuration > 0 {
+		frac := p.CommLossDuration / 60
+		if frac > 1 {
+			frac = 1
+		}
+		s += frac
+	}
+	return s / 4
+}
+
+// Channel is the Gilbert–Elliott two-state burst model: a good state
+// that delivers every observation and a bad state that drops them with
+// probability BurstDrop. State transitions draw once per observation so
+// the stream consumption is a fixed function of the step count.
+type Channel struct {
+	bad bool
+}
+
+// Reset returns the channel to the good state (episode start).
+func (c *Channel) Reset() { c.bad = false }
+
+// Step advances the channel one observation and reports whether that
+// observation is dropped. It draws exactly two uniforms per call —
+// transition then loss — regardless of state, so the fault stream stays
+// aligned across episodes with different channel trajectories.
+func (c *Channel) Step(p Profile, rng *rand.Rand) bool {
+	transition := rng.Float64()
+	loss := rng.Float64()
+	if c.bad {
+		if transition < p.BurstExit {
+			c.bad = false
+		}
+	} else if transition < p.BurstEnter {
+		c.bad = true
+	}
+	return c.bad && loss < p.BurstDrop
+}
+
+// DelayLine is a fixed-capacity ring buffer of ADS-B reports that
+// delivers each pushed report exactly cap pushes later. It is allocated
+// once when the runner wires its fleet and reset in place per episode,
+// preserving the zero-alloc steady state.
+type DelayLine struct {
+	buf    []uav.ADSBReport
+	next   int
+	filled int
+}
+
+// Init sizes the line for a latency of n cycles. n = 0 makes Push a
+// pass-through.
+func (d *DelayLine) Init(n int) {
+	if n < 0 {
+		n = 0
+	}
+	if cap(d.buf) < n {
+		d.buf = make([]uav.ADSBReport, n)
+	}
+	d.buf = d.buf[:n]
+	d.Reset()
+}
+
+// Reset empties the line without releasing its buffer.
+func (d *DelayLine) Reset() {
+	d.next = 0
+	d.filled = 0
+}
+
+// Push enqueues rep and returns the report pushed cap cycles ago. During
+// warm-up — before the line has filled — ok is false and the caller
+// should treat the link as silent: nothing transmitted that long ago.
+func (d *DelayLine) Push(rep uav.ADSBReport) (out uav.ADSBReport, ok bool) {
+	if len(d.buf) == 0 {
+		return rep, true
+	}
+	if d.filled == len(d.buf) {
+		out, ok = d.buf[d.next], true
+	}
+	d.buf[d.next] = rep
+	d.next++
+	if d.next == len(d.buf) {
+		d.next = 0
+	}
+	if d.filled < len(d.buf) {
+		d.filled++
+	}
+	return out, ok
+}

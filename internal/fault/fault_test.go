@@ -1,0 +1,310 @@
+package fault
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"acasxval/internal/config"
+	"acasxval/internal/stats"
+	"acasxval/internal/uav"
+)
+
+func TestZeroProfileDisabled(t *testing.T) {
+	var p Profile
+	if p.Enabled() {
+		t.Fatal("zero profile claims to be enabled")
+	}
+	if p.BurstEnabled() {
+		t.Fatal("zero profile claims burst loss")
+	}
+	if p.CommLost(0) || p.CommLost(1e9) {
+		t.Fatal("zero profile claims comm loss")
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("zero profile invalid: %v", err)
+	}
+	if s := p.Severity(); s != 0 {
+		t.Fatalf("zero profile severity %v, want 0", s)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Profile)
+	}{
+		{"enter above one", func(p *Profile) { p.BurstEnter = 1.5 }},
+		{"enter negative", func(p *Profile) { p.BurstEnter = -0.1 }},
+		{"exit above one", func(p *Profile) { p.BurstExit = 2 }},
+		{"drop negative", func(p *Profile) { p.BurstDrop = -1 }},
+		{"burst never recovers", func(p *Profile) { p.BurstEnter, p.BurstExit = 0.1, 0 }},
+		{"negative range", func(p *Profile) { p.DetectionRange = -5 }},
+		{"negative latency", func(p *Profile) { p.Latency = -1 }},
+		{"latency beyond cap", func(p *Profile) { p.Latency = MaxLatency + 1 }},
+		{"negative commloss start", func(p *Profile) { p.CommLossStart = -1 }},
+		{"negative commloss duration", func(p *Profile) { p.CommLossDuration = -1 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var p Profile
+			tt.mutate(&p)
+			if err := p.Validate(); err == nil {
+				t.Error("expected validation error")
+			}
+		})
+	}
+}
+
+func TestCommLossWindow(t *testing.T) {
+	p := Profile{CommLossStart: 10, CommLossDuration: 5}
+	for _, tc := range []struct {
+		now  float64
+		lost bool
+	}{{0, false}, {9.99, false}, {10, true}, {14.99, true}, {15, false}, {100, false}} {
+		if got := p.CommLost(tc.now); got != tc.lost {
+			t.Errorf("CommLost(%v) = %v, want %v", tc.now, got, tc.lost)
+		}
+	}
+}
+
+func TestChannelStationaryLossRate(t *testing.T) {
+	// The empirical drop fraction must match the Gilbert–Elliott
+	// stationary bad-state share times the in-burst drop rate.
+	p := Profile{BurstEnter: 0.1, BurstExit: 0.3, BurstDrop: 0.9}
+	want := p.BurstEnter / (p.BurstEnter + p.BurstExit) * p.BurstDrop
+	rng := stats.NewChildRNG(7, 0)
+	var ch Channel
+	ch.Reset()
+	const n = 200000
+	drops := 0
+	for i := 0; i < n; i++ {
+		if ch.Step(p, rng) {
+			drops++
+		}
+	}
+	got := float64(drops) / n
+	if math.Abs(got-want) > 0.01 {
+		t.Errorf("empirical loss rate %.4f, want ~%.4f", got, want)
+	}
+}
+
+func TestChannelBursts(t *testing.T) {
+	// With certain in-burst loss, drops must arrive in runs: the number
+	// of distinct bursts should be far below the number of drops.
+	p := Profile{BurstEnter: 0.05, BurstExit: 0.2, BurstDrop: 1}
+	rng := stats.NewChildRNG(11, 0)
+	var ch Channel
+	drops, bursts := 0, 0
+	prev := false
+	for i := 0; i < 50000; i++ {
+		d := ch.Step(p, rng)
+		if d {
+			drops++
+			if !prev {
+				bursts++
+			}
+		}
+		prev = d
+	}
+	if drops == 0 || bursts == 0 {
+		t.Fatalf("no drops observed (drops=%d bursts=%d)", drops, bursts)
+	}
+	meanRun := float64(drops) / float64(bursts)
+	if meanRun < 2 {
+		t.Errorf("mean burst length %.2f, want clearly bursty (>= 2)", meanRun)
+	}
+}
+
+func TestChannelDrawsFixedPerStep(t *testing.T) {
+	// Step consumes exactly two uniforms regardless of channel state, so
+	// downstream stream alignment does not depend on the trajectory.
+	p := Profile{BurstEnter: 0.5, BurstExit: 0.5, BurstDrop: 0.5}
+	a := stats.NewChildRNG(3, 1)
+	b := stats.NewChildRNG(3, 1)
+	var ch Channel
+	for i := 0; i < 100; i++ {
+		ch.Step(p, a)
+		b.Float64()
+		b.Float64()
+	}
+	if a.Uint64() != b.Uint64() {
+		t.Fatal("Step consumed a state-dependent number of draws")
+	}
+}
+
+func TestDelayLine(t *testing.T) {
+	var d DelayLine
+	d.Init(3)
+	rep := func(ts float64) uav.ADSBReport { return uav.ADSBReport{Time: ts, Valid: true} }
+	for i := 0; i < 3; i++ {
+		if _, ok := d.Push(rep(float64(i))); ok {
+			t.Fatalf("push %d delivered during warm-up", i)
+		}
+	}
+	for i := 3; i < 10; i++ {
+		out, ok := d.Push(rep(float64(i)))
+		if !ok {
+			t.Fatalf("push %d delivered nothing after warm-up", i)
+		}
+		if want := float64(i - 3); out.Time != want {
+			t.Fatalf("push %d delivered report from t=%v, want t=%v", i, out.Time, want)
+		}
+	}
+}
+
+func TestDelayLineZeroIsPassThrough(t *testing.T) {
+	var d DelayLine
+	d.Init(0)
+	in := uav.ADSBReport{Time: 42, Valid: true}
+	out, ok := d.Push(in)
+	if !ok || out != in {
+		t.Fatalf("zero-latency push = (%+v, %v), want pass-through", out, ok)
+	}
+}
+
+func TestDelayLineResetKeepsBuffer(t *testing.T) {
+	var d DelayLine
+	d.Init(2)
+	d.Push(uav.ADSBReport{Time: 1})
+	d.Push(uav.ADSBReport{Time: 2})
+	buf := &d.buf[0]
+	d.Reset()
+	if _, ok := d.Push(uav.ADSBReport{Time: 3}); ok {
+		t.Fatal("reset line delivered a stale report")
+	}
+	if &d.buf[0] != buf {
+		t.Fatal("Reset reallocated the buffer")
+	}
+	d.Init(2)
+	if &d.buf[0] != buf {
+		t.Fatal("same-capacity Init reallocated the buffer")
+	}
+}
+
+func TestPresets(t *testing.T) {
+	names := PresetNames()
+	if len(names) < 4 {
+		t.Fatalf("preset menu %v too short", names)
+	}
+	for _, name := range names {
+		p, err := Preset(name)
+		if err != nil {
+			t.Fatalf("Preset(%q): %v", name, err)
+		}
+		if err := p.Validate(); err != nil {
+			t.Errorf("preset %q invalid: %v", name, err)
+		}
+		if name == "none" && p.Enabled() {
+			t.Error(`preset "none" is not the zero profile`)
+		}
+		if name != "none" && !p.Enabled() {
+			t.Errorf("preset %q is a no-op", name)
+		}
+	}
+	if _, err := Preset("bogus"); err == nil || !strings.Contains(err.Error(), "none") {
+		t.Errorf("unknown preset error %v does not list the menu", err)
+	}
+}
+
+func TestSeverityOrdersPresets(t *testing.T) {
+	var prev float64
+	for _, name := range []string{"none", "light", "moderate", "severe"} {
+		p, err := Preset(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := p.Severity()
+		if s < prev {
+			t.Fatalf("severity(%s) = %v below previous %v; presets must rank", name, s, prev)
+		}
+		if s < 0 || s > 1 {
+			t.Fatalf("severity(%s) = %v outside [0, 1]", name, s)
+		}
+		prev = s
+	}
+}
+
+func TestConfigRoundTrip(t *testing.T) {
+	p, err := Preset("moderate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := config.New()
+	ToConfig(p, c, "x.")
+	got, err := FromConfig(c, "x.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != p {
+		t.Fatalf("round trip %+v, want %+v", got, p)
+	}
+}
+
+func TestFromConfigPresetWithOverride(t *testing.T) {
+	c, err := config.Parse("f.preset = severe\nf.latency = 0\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := FromConfig(c, "f.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := Preset("severe")
+	want.Latency = 0
+	if got != want {
+		t.Fatalf("decoded %+v, want severe with latency 0 (%+v)", got, want)
+	}
+}
+
+func TestFromConfigRejectsInvalid(t *testing.T) {
+	c, _ := config.Parse("f.burst.enter = 2\n")
+	if _, err := FromConfig(c, "f."); err == nil {
+		t.Fatal("out-of-range profile decoded without error")
+	}
+	c, _ = config.Parse("f.preset = nosuch\n")
+	if _, err := FromConfig(c, "f."); err == nil {
+		t.Fatal("unknown preset decoded without error")
+	}
+}
+
+func TestResolve(t *testing.T) {
+	p, err := Resolve("")
+	if err != nil || p.Enabled() {
+		t.Fatalf("Resolve(\"\") = (%+v, %v), want zero profile", p, err)
+	}
+	if _, err := Resolve("light"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Resolve("nope"); err == nil {
+		t.Fatal("unknown name resolved")
+	}
+}
+
+func TestGenesRoundTrip(t *testing.T) {
+	for _, name := range []string{"light", "moderate"} {
+		p, _ := Preset(name)
+		got := FromGenes(Genes(p))
+		if got != p {
+			t.Errorf("gene round trip of %s: %+v, want %+v", name, got, p)
+		}
+	}
+	lo, hi := GeneBounds()
+	if len(lo) != GeneCount || len(hi) != GeneCount {
+		t.Fatalf("gene bounds lengths %d/%d, want %d", len(lo), len(hi), GeneCount)
+	}
+	for i := range lo {
+		if lo[i] >= hi[i] {
+			t.Errorf("gene %d bounds [%v, %v] empty", i, lo[i], hi[i])
+		}
+	}
+	if p := FromGenes(lo); p.Validate() != nil {
+		t.Errorf("lower-bound genes decode invalid: %+v", p)
+	}
+	if p := FromGenes(hi); p.Validate() != nil {
+		t.Errorf("upper-bound genes decode invalid: %+v", p)
+	}
+	if p := FromGenes(NeutralGenes()); p.Severity() != 0 {
+		t.Errorf("neutral genes have severity %v, want 0", p.Severity())
+	}
+}

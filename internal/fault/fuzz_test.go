@@ -1,0 +1,46 @@
+package fault
+
+import (
+	"testing"
+
+	"acasxval/internal/config"
+)
+
+// FuzzFaultProfileParams holds the profile codec to exact round-trip:
+// any valid profile encoded with ToConfig and re-parsed through the
+// params text format must decode to the identical profile, and FromConfig
+// must never accept a profile that Validate rejects.
+func FuzzFaultProfileParams(f *testing.F) {
+	for _, name := range PresetNames() {
+		p, _ := Preset(name)
+		f.Add(p.BurstEnter, p.BurstExit, p.BurstDrop, p.DetectionRange, p.Latency, p.CommLossStart, p.CommLossDuration)
+	}
+	f.Add(0.25, 0.5, 0.75, 1234.5678, 3, 0.125, 59.999)
+	f.Fuzz(func(t *testing.T, enter, exit, drop, rng float64, latency int, start, dur float64) {
+		p := Profile{
+			BurstEnter: enter, BurstExit: exit, BurstDrop: drop,
+			DetectionRange: rng, Latency: latency,
+			CommLossStart: start, CommLossDuration: dur,
+		}
+		valid := p.Validate() == nil
+		c := config.New()
+		ToConfig(p, c, "fuzz.")
+		reparsed, err := config.Parse(c.Dump())
+		if err != nil {
+			t.Fatalf("encoded profile does not re-parse as params text: %v", err)
+		}
+		got, err := FromConfig(reparsed, "fuzz.")
+		if !valid {
+			if err == nil {
+				t.Fatalf("invalid profile %+v decoded without error as %+v", p, got)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("valid profile %+v failed to decode: %v", p, err)
+		}
+		if got != p {
+			t.Fatalf("round trip changed the profile:\n  in  %+v\n  out %+v", p, got)
+		}
+	})
+}

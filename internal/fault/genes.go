@@ -1,0 +1,60 @@
+package fault
+
+import "math"
+
+// GeneCount is the number of genes a profile occupies when the search
+// engine co-evolves fault schedules with encounter geometry.
+const GeneCount = 7
+
+// Gene bounds for co-evolution. The ranges deliberately exclude the
+// degenerate corners Validate rejects (burst that never recovers, zero
+// detection range) so every clamped gene vector decodes to a valid
+// profile.
+var (
+	geneLo = [GeneCount]float64{0, 0.05, 0, 300, 0, 0, 0}
+	geneHi = [GeneCount]float64{0.5, 1, 1, 10000, 6, 60, 60}
+)
+
+// GeneBounds returns fresh copies of the per-gene lower and upper
+// bounds, in the order BurstEnter, BurstExit, BurstDrop,
+// DetectionRange, Latency, CommLossStart, CommLossDuration.
+func GeneBounds() (lo, hi []float64) {
+	lo = append([]float64(nil), geneLo[:]...)
+	hi = append([]float64(nil), geneHi[:]...)
+	return lo, hi
+}
+
+// NeutralGenes returns the gene vector of least severity: no bursts, a
+// detection range at the top of the gene box (beyond every encounter
+// geometry in the model), no latency, no comm loss. Seed genomes are
+// padded with it so geometry-only seeds start from an undegraded
+// channel.
+func NeutralGenes() []float64 {
+	return []float64{0, 1, 0, geneHi[3], 0, 0, 0}
+}
+
+// FromGenes decodes a gene vector (clamped to GeneBounds by the GA)
+// into a profile; the latency gene rounds to whole decision cycles.
+func FromGenes(g []float64) Profile {
+	if len(g) != GeneCount {
+		panic("fault: gene vector length mismatch")
+	}
+	return Profile{
+		BurstEnter:       g[0],
+		BurstExit:        g[1],
+		BurstDrop:        g[2],
+		DetectionRange:   g[3],
+		Latency:          int(math.Round(g[4])),
+		CommLossStart:    g[5],
+		CommLossDuration: g[6],
+	}
+}
+
+// Genes encodes the profile as a gene vector, the inverse of FromGenes.
+func Genes(p Profile) []float64 {
+	return []float64{
+		p.BurstEnter, p.BurstExit, p.BurstDrop,
+		p.DetectionRange, float64(p.Latency),
+		p.CommLossStart, p.CommLossDuration,
+	}
+}

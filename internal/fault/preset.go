@@ -1,0 +1,61 @@
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// presets are the named severity profiles the campaign axis and the CLI
+// flags refer to. They bracket the degradation space: "light" is an
+// occasional short burst with one cycle of latency, "moderate" adds a
+// realistic detection horizon and a mid-encounter datalink outage,
+// "severe" is the near-blind case the search engine should not need —
+// if the logic already fails under "moderate", the table has a problem.
+var presets = map[string]Profile{
+	"none": {},
+	"light": {
+		BurstEnter: 0.05,
+		BurstExit:  0.50,
+		BurstDrop:  0.80,
+		Latency:    1,
+	},
+	"moderate": {
+		BurstEnter:       0.10,
+		BurstExit:        0.30,
+		BurstDrop:        0.95,
+		DetectionRange:   3000,
+		Latency:          2,
+		CommLossStart:    15,
+		CommLossDuration: 10,
+	},
+	"severe": {
+		BurstEnter:       0.20,
+		BurstExit:        0.15,
+		BurstDrop:        1.0,
+		DetectionRange:   1500,
+		Latency:          4,
+		CommLossStart:    5,
+		CommLossDuration: 25,
+	},
+}
+
+// PresetNames returns the preset menu in a stable order.
+func PresetNames() []string {
+	names := make([]string, 0, len(presets))
+	for name := range presets {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Preset returns the named severity profile. Unknown names report the
+// menu.
+func Preset(name string) (Profile, error) {
+	p, ok := presets[name]
+	if !ok {
+		return Profile{}, fmt.Errorf("fault: unknown profile %q (have %s)", name, strings.Join(PresetNames(), ", "))
+	}
+	return p, nil
+}

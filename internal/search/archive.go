@@ -9,6 +9,7 @@ import (
 
 	"acasxval/internal/campaign"
 	"acasxval/internal/encounter"
+	"acasxval/internal/fault"
 	"acasxval/internal/ga"
 	"acasxval/internal/stats"
 )
@@ -35,8 +36,13 @@ type ArchiveEntry struct {
 	Island     int `json:"island"`
 	Generation int `json:"generation"`
 	Index      int `json:"index"`
-	// Params is the encounter parameter vector in genome order.
+	// Params is the encounter parameter vector in genome order (geometry
+	// only — fault genes never enter the dedup distance).
 	Params []float64 `json:"params"`
+	// Fault is the co-evolved degradation profile in gene order
+	// (fault.Genes); empty for clean-surveillance and fixed-profile
+	// searches, so their archives keep the historical byte stream.
+	Fault []float64 `json:"fault,omitempty"`
 }
 
 // EncounterParams decodes the entry's parameter vector as a classic
@@ -52,6 +58,19 @@ func (e ArchiveEntry) MultiEncounterParams() (encounter.MultiParams, error) {
 	return encounter.MultiFromVector(e.Params)
 }
 
+// FaultProfile decodes the entry's co-evolved degradation profile: the
+// zero profile when the entry was found under clean surveillance.
+func (e ArchiveEntry) FaultProfile() (fault.Profile, error) {
+	if len(e.Fault) == 0 {
+		return fault.Profile{}, nil
+	}
+	if len(e.Fault) != fault.GeneCount {
+		return fault.Profile{}, fmt.Errorf("search: archive entry %q has %d fault genes, want %d",
+			e.Name, len(e.Fault), fault.GeneCount)
+	}
+	return fault.FromGenes(e.Fault), nil
+}
+
 // validate checks an entry's structural invariants (shared by the JSONL
 // loader and the checkpoint decoder).
 func (e ArchiveEntry) validate() error {
@@ -64,6 +83,13 @@ func (e ArchiveEntry) validate() error {
 	}
 	if !stats.AllFinite(e.Params...) {
 		return fmt.Errorf("search: archive entry %q has a non-finite param", e.Name)
+	}
+	if len(e.Fault) != 0 && len(e.Fault) != fault.GeneCount {
+		return fmt.Errorf("search: archive entry %q has %d fault genes, want %d (or none)",
+			e.Name, len(e.Fault), fault.GeneCount)
+	}
+	if !stats.AllFinite(e.Fault...) {
+		return fmt.Errorf("search: archive entry %q has a non-finite fault gene", e.Name)
 	}
 	if !stats.AllFinite(e.Fitness) {
 		return fmt.Errorf("search: archive entry %q: fitness is %v", e.Name, e.Fitness)

@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 
 	"acasxval/internal/encounter"
+	"acasxval/internal/fault"
 	"acasxval/internal/ga"
 	"acasxval/internal/stats"
 )
@@ -82,6 +83,12 @@ func (s Spec) Fingerprint() string {
 		s.GA.Crossover, s.GA.CrossoverProb, s.GA.MutationProb, s.GA.MutationSigmaFrac, s.GA.Elites)
 	fmt.Fprintf(h, "|sims=%d|gain=%g|thr=%g|mind=%g",
 		s.Fitness.SimsPerEncounter, s.Fitness.CollisionGain, s.ArchiveThreshold, s.ArchiveMinDistance)
+	// Fault co-evolution reshapes the genome and the fitness; fingerprint
+	// it only when active so clean-search checkpoints keep their identity.
+	// (A fixed profile is already covered by the |run=%+v line below.)
+	if s.EvolveFaults {
+		fmt.Fprintf(h, "|efaults=true|fpen=%g", s.FaultPenalty)
+	}
 	// The whole run configuration shapes the trajectory — aircraft
 	// dynamics, sensor noise, tracker tuning included — so hash its full
 	// rendered form rather than a hand-picked field subset.
@@ -92,6 +99,14 @@ func (s Spec) Fingerprint() string {
 		fmt.Fprintf(h, "|%v", g)
 	}
 	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// validGenomeLen accepts the two genome shapes a checkpoint may carry:
+// K geometry blocks, optionally followed by the fault-gene tail of a
+// fault-evolving search.
+func validGenomeLen(n int) bool {
+	r := n % encounter.NumParams
+	return r == 0 || (r == fault.GeneCount && n > fault.GeneCount)
 }
 
 // finiteCheck rejects NaN/Inf values, which the JSON encoder cannot emit
@@ -130,9 +145,9 @@ func (c *Checkpoint) validate() error {
 			return fmt.Errorf("search: checkpoint island %d has an empty population", i)
 		}
 		for j, ind := range isl.Population {
-			if len(ind.Genome) == 0 || len(ind.Genome)%encounter.NumParams != 0 {
-				return fmt.Errorf("search: checkpoint island %d individual %d has %d genes, want a positive multiple of %d",
-					i, j, len(ind.Genome), encounter.NumParams)
+			if len(ind.Genome) == 0 || !validGenomeLen(len(ind.Genome)) {
+				return fmt.Errorf("search: checkpoint island %d individual %d has %d genes, want a positive multiple of %d (optionally + %d fault genes)",
+					i, j, len(ind.Genome), encounter.NumParams, fault.GeneCount)
 			}
 			if err := finiteCheck("genome gene", ind.Genome...); err != nil {
 				return err
@@ -146,9 +161,9 @@ func (c *Checkpoint) validate() error {
 				return fmt.Errorf("search: checkpoint island %d history entry %d labeled generation %d",
 					i, j, gs.Generation)
 			}
-			if len(gs.Best.Genome) != 0 && len(gs.Best.Genome)%encounter.NumParams != 0 {
-				return fmt.Errorf("search: checkpoint island %d history entry %d best genome has %d genes, want a multiple of %d",
-					i, j, len(gs.Best.Genome), encounter.NumParams)
+			if len(gs.Best.Genome) != 0 && !validGenomeLen(len(gs.Best.Genome)) {
+				return fmt.Errorf("search: checkpoint island %d history entry %d best genome has %d genes, want a multiple of %d (optionally + %d fault genes)",
+					i, j, len(gs.Best.Genome), encounter.NumParams, fault.GeneCount)
 			}
 			if err := finiteCheck("generation stats", gs.Min, gs.Mean, gs.Max, gs.Best.Fitness); err != nil {
 				return err

@@ -9,6 +9,7 @@ import (
 
 	"acasxval/internal/core"
 	"acasxval/internal/encounter"
+	"acasxval/internal/fault"
 	"acasxval/internal/ga"
 	"acasxval/internal/montecarlo"
 	"acasxval/internal/stats"
@@ -69,6 +70,9 @@ type Best struct {
 	Params   encounter.MultiParams
 	Fitness  float64
 	Geometry encounter.Geometry
+	// Fault is the co-evolved degradation profile of the best individual
+	// (the zero profile unless the spec evolves faults).
+	Fault fault.Profile
 	// Island and Generation locate the discovery.
 	Island     int
 	Generation int
@@ -109,8 +113,12 @@ type island struct {
 
 // engine holds the mutable search state between generations.
 type engine struct {
-	spec           Spec
+	spec Spec
+	// bounds spans the full genome (geometry blocks plus, when the spec
+	// co-evolves faults, the fault-gene tail); geomLen is the length of
+	// the geometry prefix.
 	bounds         ga.Bounds
+	geomLen        int
 	islands        []*island
 	archive        *Archive
 	nextGen        int
@@ -131,9 +139,22 @@ func Run(spec Spec, factory core.SystemFactory, opts Options) (*Result, error) {
 		return nil, fmt.Errorf("search: nil system factory")
 	}
 	lo, hi := spec.Ranges.MultiBounds(spec.NumIntruders())
-	bounds, err := ga.NewBounds(lo, hi)
+	// The archive's dedup distance is always over the geometry bounds:
+	// entry Params stay geometry-only vectors even when the genome grows
+	// a fault-gene tail, so archives from clean and co-evolving searches
+	// measure with the same yardstick.
+	geomBounds, err := ga.NewBounds(lo, hi)
 	if err != nil {
 		return nil, err
+	}
+	bounds := geomBounds
+	if spec.EvolveFaults {
+		flo, fhi := fault.GeneBounds()
+		bounds, err = ga.NewBounds(append(append([]float64(nil), lo...), flo...),
+			append(append([]float64(nil), hi...), fhi...))
+		if err != nil {
+			return nil, err
+		}
 	}
 	// The islands are the primary parallelism; when they cannot fill the
 	// hardware, each fitness evaluation additionally fans its episodes over
@@ -145,8 +166,8 @@ func Run(spec Spec, factory core.SystemFactory, opts Options) (*Result, error) {
 			epw = 1
 		}
 	}
-	e := &engine{spec: spec, bounds: bounds, episodeWorkers: epw}
-	e.archive = NewArchive(spec.ArchiveThreshold, spec.ArchiveMinDistance, bounds)
+	e := &engine{spec: spec, bounds: bounds, geomLen: spec.geomLen(), episodeWorkers: epw}
+	e.archive = NewArchive(spec.ArchiveThreshold, spec.ArchiveMinDistance, geomBounds)
 
 	start := time.Now()
 	resumed := false
@@ -225,8 +246,14 @@ func (e *engine) initialize() {
 		// A pairwise seed in a K-intruder search tiles to K converging
 		// copies of itself — the sweep's worst pairwise conflict posed
 		// simultaneously by every intruder.
-		for len(genome) < e.bounds.Len() {
+		for len(genome) < e.geomLen {
 			genome = append(genome, g...)
+		}
+		// Geometry-only seeds in a fault-evolving search start at the
+		// neutral profile (clean surveillance, zero severity); mutation
+		// explores the degradation space from there.
+		if len(genome) < e.bounds.Len() {
+			genome = append(genome, fault.NeutralGenes()...)
 		}
 		e.bounds.Clamp(genome)
 		isl.pop[slot] = ga.Individual{Genome: genome}
@@ -310,7 +337,8 @@ func (e *engine) evaluateIsland(isl *island, gen int, factory core.SystemFactory
 		}
 		evals++
 		seed := stats.DeriveSeed(isl.seed, gen*popSize+i)
-		m, err := encounter.MultiFromVector(isl.pop[i].Genome)
+		genome := isl.pop[i].Genome
+		m, err := encounter.MultiFromVector(genome[:e.geomLen])
 		if err != nil {
 			// A corrupt genome scores zero instead of halting a long
 			// search (mirrors core.Evaluator.Evaluate).
@@ -319,9 +347,31 @@ func (e *engine) evaluateIsland(isl *island, gen int, factory core.SystemFactory
 			continue
 		}
 		m = e.spec.Ranges.ClampMulti(m)
-		fitness, est, err := evaluateEncounter(m, seed, e.spec.Fitness, factory, e.episodeWorkers, &isl.scratch)
+		fit := e.spec.Fitness
+		var fp fault.Profile
+		var faultGenes []float64
+		if e.spec.EvolveFaults {
+			// The co-evolved profile replaces any fixed one. Breeding
+			// clamps the tail into fault.GeneBounds, whose whole box
+			// decodes to valid profiles; a corrupt checkpoint tail scores
+			// zero like a corrupt geometry.
+			fp = fault.FromGenes(genome[e.geomLen:])
+			if fp.Validate() != nil {
+				isl.pop[i].Fitness = 0
+				isl.pop[i].Evaluated = true
+				continue
+			}
+			fit.Run.Faults = fp
+			faultGenes = fault.Genes(fp)
+		}
+		fitness, est, err := evaluateEncounter(m, seed, fit, factory, e.episodeWorkers, &isl.scratch)
 		if err != nil {
 			return nil, 0, err
+		}
+		if e.spec.EvolveFaults {
+			// Parsimony: prefer the mildest degradation that still breaks
+			// the system.
+			fitness -= e.spec.FaultPenalty * fp.Severity()
 		}
 		isl.pop[i].Fitness = fitness
 		isl.pop[i].Evaluated = true
@@ -335,6 +385,7 @@ func (e *engine) evaluateIsland(isl *island, gen int, factory core.SystemFactory
 				Generation: gen,
 				Index:      i,
 				Params:     m.Vector(),
+				Fault:      faultGenes,
 			})
 		}
 	}
@@ -415,7 +466,18 @@ func (r *Result) findBest(spec Spec) error {
 				continue
 			}
 			if !found || gs.Best.Fitness > r.Best.Fitness {
-				m, err := encounter.MultiFromVector(gs.Best.Genome)
+				geom := gs.Best.Genome
+				var fp fault.Profile
+				if spec.EvolveFaults {
+					if len(geom) <= fault.GeneCount {
+						return fmt.Errorf("search: best genome corrupt: %d genes, want a geometry prefix plus %d fault genes",
+							len(geom), fault.GeneCount)
+					}
+					split := len(geom) - fault.GeneCount
+					fp = fault.FromGenes(geom[split:])
+					geom = geom[:split]
+				}
+				m, err := encounter.MultiFromVector(geom)
 				if err != nil {
 					return fmt.Errorf("search: best genome corrupt: %w", err)
 				}
@@ -424,6 +486,7 @@ func (r *Result) findBest(spec Spec) error {
 					Params:     m,
 					Fitness:    gs.Best.Fitness,
 					Geometry:   encounter.ClassifyMulti(m),
+					Fault:      fp,
 					Island:     i,
 					Generation: gs.Generation,
 				}

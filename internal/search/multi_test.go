@@ -108,7 +108,7 @@ func TestMultiSeedTiling(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	e := &engine{spec: spec}
+	e := &engine{spec: spec, geomLen: spec.geomLen()}
 	lo, hi := spec.Ranges.MultiBounds(2)
 	bounds, err := ga.NewBounds(lo, hi)
 	if err != nil {

@@ -37,6 +37,7 @@ import (
 	"acasxval/internal/config"
 	"acasxval/internal/core"
 	"acasxval/internal/encounter"
+	"acasxval/internal/fault"
 	"acasxval/internal/ga"
 	"acasxval/internal/stats"
 )
@@ -71,8 +72,23 @@ type Spec struct {
 	// streams and the island is the unit of parallelism.
 	GA ga.Params
 	// Fitness configures the per-encounter Monte-Carlo batch (the paper's
-	// 100 stochastic simulations averaged into one fitness value).
+	// 100 stochastic simulations averaged into one fitness value). Its
+	// Run.Faults profile, when enabled, degrades every evaluation — a
+	// search under a fixed lossy channel.
 	Fitness core.FitnessConfig
+
+	// EvolveFaults appends fault.GeneCount degradation genes to every
+	// genome: the search co-evolves the surveillance-degradation profile
+	// with the encounter geometry, hunting the weakest (scenario, fault)
+	// combination instead of assuming clean sensors. The co-evolved
+	// profile overrides Fitness.Run.Faults per individual.
+	EvolveFaults bool
+	// FaultPenalty scales a parsimony term subtracted from co-evolved
+	// fitness: FaultPenalty * Profile.Severity(). Zero keeps the raw
+	// fitness — the search will happily drive the channel to total loss;
+	// a positive penalty prefers the mildest degradation that still
+	// breaks the system. Ignored unless EvolveFaults is set.
+	FaultPenalty float64
 
 	// ArchiveThreshold is the fitness at or above which an encounter
 	// enters the danger archive. With the default collision gain 10000, a
@@ -125,8 +141,18 @@ func (s Spec) NumIntruders() int {
 	return s.Intruders
 }
 
-// GenomeLen returns the genome length of the search: K pairwise blocks.
-func (s Spec) GenomeLen() int { return s.NumIntruders() * encounter.NumParams }
+// GenomeLen returns the genome length of the search: K pairwise blocks,
+// plus the fault genes when the spec co-evolves the degradation profile.
+func (s Spec) GenomeLen() int {
+	n := s.geomLen()
+	if s.EvolveFaults {
+		n += fault.GeneCount
+	}
+	return n
+}
+
+// geomLen is the geometry prefix of each genome: K pairwise blocks.
+func (s Spec) geomLen() int { return s.NumIntruders() * encounter.NumParams }
 
 // Validate checks the spec.
 func (s Spec) Validate() error {
@@ -164,11 +190,16 @@ func (s Spec) Validate() error {
 	if s.ArchiveMinDistance < 0 || s.ArchiveMinDistance > 1 {
 		return fmt.Errorf("search: archive min distance %v outside [0, 1]", s.ArchiveMinDistance)
 	}
+	if !stats.AllFinite(s.FaultPenalty) || s.FaultPenalty < 0 {
+		return fmt.Errorf("search: fault penalty %v (want a finite value >= 0)", s.FaultPenalty)
+	}
 	for i, g := range s.SeedGenomes {
 		// A K-intruder search accepts both full K-block genomes and plain
 		// pairwise ones — the latter (typically worst cells of a pairwise
-		// sweep) are tiled to K converging copies at initialization.
-		if len(g) != s.GenomeLen() && len(g) != encounter.NumParams {
+		// sweep) are tiled to K converging copies at initialization. A
+		// fault-evolving search additionally accepts geometry-only seeds;
+		// their fault genes initialize to the neutral (clean) profile.
+		if len(g) != s.GenomeLen() && len(g) != s.geomLen() && len(g) != encounter.NumParams {
 			return fmt.Errorf("search: seed genome %d has %d genes, want %d (or %d to tile)",
 				i, len(g), s.GenomeLen(), encounter.NumParams)
 		}
@@ -194,6 +225,15 @@ func (s Spec) Validate() error {
 //	search.sims               simulations per encounter
 //	search.archive.threshold  fitness admitting an encounter to the archive
 //	search.archive.mindist    normalized dedup distance in [0, 1]
+//	search.faults.preset      fixed degradation profile for every
+//	                          evaluation (fault.PresetNames), overridable
+//	                          field by field:
+//	search.faults.burst.enter / burst.exit / burst.drop / range /
+//	search.faults.latency / commloss.start / commloss.duration
+//	search.faults.evolve      co-evolve the profile with the geometry
+//	                          (appends fault.GeneCount genes per genome)
+//	search.faults.penalty     severity parsimony weight on co-evolved
+//	                          fitness
 func FromConfig(c *config.Params) (Spec, error) {
 	s := DefaultSpec()
 	gaParams, err := ga.FromConfig(c)
@@ -223,6 +263,15 @@ func FromConfig(c *config.Params) (Spec, error) {
 		return s, err
 	}
 	if s.ArchiveMinDistance, err = c.FloatOr("search.archive.mindist", s.ArchiveMinDistance); err != nil {
+		return s, err
+	}
+	if s.Fitness.Run.Faults, err = fault.FromConfig(c, "search.faults."); err != nil {
+		return s, fmt.Errorf("search: %w", err)
+	}
+	if s.EvolveFaults, err = c.BoolOr("search.faults.evolve", false); err != nil {
+		return s, err
+	}
+	if s.FaultPenalty, err = c.FloatOr("search.faults.penalty", 0); err != nil {
 		return s, err
 	}
 	return s, s.Validate()

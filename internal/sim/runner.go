@@ -5,6 +5,7 @@ import (
 	"math/rand/v2"
 
 	"acasxval/internal/encounter"
+	"acasxval/internal/fault"
 	"acasxval/internal/geom"
 	"acasxval/internal/stats"
 	"acasxval/internal/tracker"
@@ -36,6 +37,11 @@ type RunConfig struct {
 	// Coordination enables maneuver-sense coordination between the
 	// aircraft (paper section VI.C).
 	Coordination bool
+	// Faults layers deterministic surveillance degradation — burst
+	// dropout, detection-range limit, measurement latency, scheduled
+	// coordination loss — on top of the sensor model. The zero value is
+	// fault-free and bit-identical to the historical path.
+	Faults fault.Profile
 	// RecordTrajectory retains per-step trajectory points in the Result.
 	RecordTrajectory bool
 	// MonitorSubSteps sub-samples each integration step when feeding the
@@ -87,6 +93,9 @@ func (c RunConfig) Validate() error {
 	}
 	if c.MonitorSubSteps < 0 {
 		return fmt.Errorf("sim: negative MonitorSubSteps")
+	}
+	if err := c.Faults.Validate(); err != nil {
+		return err
 	}
 	return nil
 }
@@ -189,6 +198,27 @@ type aircraft struct {
 	lastDecision Decision
 	alerts       int
 	firstAlertAt float64
+	// channels/delays hold the per-link fault state (one entry per
+	// observed peer, indexed like tracks) when the run configuration
+	// enables faults: the Gilbert–Elliott burst channel and the
+	// fixed-latency delay queue. Grown once, reset in place per episode.
+	channels []fault.Channel
+	delays   []fault.DelayLine
+}
+
+// ensureLinks grows the aircraft's per-link fault state to n peers and
+// resets it for a fresh episode: channels back to the good state, delay
+// queues emptied and sized for the configured latency. At a steady peer
+// count and latency this allocates nothing.
+func (a *aircraft) ensureLinks(n, latency int) {
+	for len(a.channels) < n {
+		a.channels = append(a.channels, fault.Channel{})
+		a.delays = append(a.delays, fault.DelayLine{})
+	}
+	for i := 0; i < n; i++ {
+		a.channels[i].Reset()
+		a.delays[i].Init(latency)
+	}
 }
 
 // ensureTracks grows the aircraft's filter set to n peers, wiring new
@@ -256,6 +286,16 @@ type Runner struct {
 	dyn, sensor []*stats.ReseedableRNG
 	// dynR/sensorR cache the *rand.Rand views for the run in flight.
 	dynR, sensorR []*rand.Rand
+	// flt holds the per-aircraft fault streams, seeded from the episode
+	// seed under a dedicated salt (see faultStreamSalt) only when the
+	// configuration enables faults — so the zero profile draws nothing
+	// and perturbs nothing.
+	flt  []*stats.ReseedableRNG
+	fltR []*rand.Rand
+	// faultsOn caches cfg.Faults.Enabled(); latSec is the configured
+	// measurement latency in seconds (Latency cycles x DecisionPeriod).
+	faultsOn bool
+	latSec   float64
 
 	// Scratch reused across episodes.
 	posBefore   []geom.Vec3
@@ -280,6 +320,13 @@ func streamIndexes(i int) (dyn, sensor int) {
 	}
 	return 2 * i, 2*i + 1
 }
+
+// faultStreamSalt separates the fault streams from the dynamics/sensor
+// streams. Every non-negative component stream index is (eventually)
+// claimed by streamIndexes as the fleet grows, so fault streams salt the
+// episode seed itself instead of taking an index: stream i of seed s and
+// stream i of seed s^salt never collide for the same episode.
+const faultStreamSalt = 0x0FA17B17D0C0FFEE
 
 // NewRunner builds a reusable simulation world for the configuration.
 func NewRunner(cfg RunConfig) (*Runner, error) {
@@ -316,6 +363,8 @@ func (r *Runner) Reconfigure(cfg RunConfig) error {
 	r.prox.Reset()
 	r.accident.Reset()
 	r.clock = Clock{dt: cfg.Dt}
+	r.faultsOn = cfg.Faults.Enabled()
+	r.latSec = float64(cfg.Faults.Latency) * cfg.DecisionPeriod
 	r.configured = true
 	return nil
 }
@@ -365,13 +414,24 @@ func (r *Runner) ensureFleet(n int) error {
 			}
 		}
 	}
+	// Per-link fault state exists only when the configuration degrades
+	// anything; ensureFleet runs at the top of every episode, so this
+	// doubles as the in-place per-episode fault reset.
+	if r.cfg.Faults.Enabled() {
+		r.fleet[0].ensureLinks(n-1, r.cfg.Faults.Latency)
+		for i := 1; i < n; i++ {
+			r.fleet[i].ensureLinks(1, r.cfg.Faults.Latency)
+		}
+	}
 	for len(r.dyn) < n {
 		r.dyn = append(r.dyn, &stats.ReseedableRNG{})
 		r.sensor = append(r.sensor, &stats.ReseedableRNG{})
+		r.flt = append(r.flt, &stats.ReseedableRNG{})
 	}
 	for len(r.dynR) < n {
 		r.dynR = append(r.dynR, nil)
 		r.sensorR = append(r.sensorR, nil)
+		r.fltR = append(r.fltR, nil)
 	}
 	for len(r.posBefore) < n {
 		r.posBefore = append(r.posBefore, geom.Vec3{})
@@ -442,6 +502,11 @@ func (r *Runner) RunMulti(m encounter.MultiParams, systems []System, seed uint64
 		di, si := streamIndexes(i)
 		r.dynR[i] = r.dyn[i].SeedPCG(streamSeedWords(seed, di))
 		r.sensorR[i] = r.sensor[i].SeedPCG(streamSeedWords(seed, si))
+	}
+	if r.faultsOn {
+		for i := 0; i <= k; i++ {
+			r.fltR[i] = r.flt[i].SeedPCG(streamSeedWords(seed^faultStreamSalt, i))
+		}
 	}
 
 	duration := m.MaxTimeToCPA() + cfg.Overtime
@@ -571,19 +636,30 @@ func RunMultiEncounter(m encounter.MultiParams, systems []System, cfg RunConfig,
 	return r.RunMulti(m, systems, seed)
 }
 
-// surveil runs aircraft a's surveillance of peer (tracked by a.tracks[ti]):
-// one noisy ADS-B observation, filtered when tracking is enabled. It
-// reports the estimated position/velocity and whether a usable track
-// exists this cycle.
-func (r *Runner) surveil(a *aircraft, ti int, peer *aircraft, now float64, sensorRNG *rand.Rand) (pos, vel geom.Vec3, ok bool) {
+// surveil runs aircraft a's surveillance of peer (tracked by a.tracks[ti]
+// and degraded by a.channels/a.delays[ti] when faults are enabled): one
+// noisy ADS-B observation, pushed through the fault layer, filtered when
+// tracking is enabled. It reports the estimated position/velocity and
+// whether a usable track exists this cycle.
+//
+// Under measurement latency the tracker runs on the delayed timeline:
+// delivered reports carry their observation timestamps (now - latency),
+// and dropout dead reckoning predicts only up to that delayed horizon —
+// the logic genuinely acts on state that is Latency cycles old.
+func (r *Runner) surveil(a *aircraft, ti int, peer *aircraft, now float64, sensorRNG, faultRNG *rand.Rand) (pos, vel geom.Vec3, ok bool) {
 	rep := r.cfg.Sensor.Observe(peer.vehicle.State(), now, sensorRNG)
+	trackNow := now
+	if r.faultsOn {
+		rep = r.degrade(a, ti, peer, rep, faultRNG)
+		trackNow = now - r.latSec
+	}
 	if a.hasTrack {
 		tk := &a.tracks[ti]
 		if rep.Valid {
-			est := tk.Update(rep.Pos, rep.Vel, now)
+			est := tk.Update(rep.Pos, rep.Vel, rep.Time)
 			return est.Pos, est.Vel, est.Initialized
 		}
-		if est := tk.Predict(now); est.Initialized {
+		if est := tk.Predict(trackNow); est.Initialized {
 			return est.Pos, est.Vel, true
 		}
 		return geom.Vec3{}, geom.Vec3{}, false
@@ -592,6 +668,42 @@ func (r *Runner) surveil(a *aircraft, ti int, peer *aircraft, now float64, senso
 		return rep.Pos, rep.Vel, true
 	}
 	return geom.Vec3{}, geom.Vec3{}, false
+}
+
+// degrade applies the configured fault profile to one freshly observed
+// report on the link a <- peer, in transmission order: the burst channel
+// may lose it, the detection-range limit may blind it, and the delay
+// queue holds it for Latency cycles (delivering whatever was observed
+// that long ago instead, invalid during warm-up). All randomness draws
+// from the dedicated fault stream, never from the sensor stream.
+func (r *Runner) degrade(a *aircraft, li int, peer *aircraft, rep uav.ADSBReport, faultRNG *rand.Rand) uav.ADSBReport {
+	f := &r.cfg.Faults
+	if f.BurstEnabled() && a.channels[li].Step(*f, faultRNG) {
+		rep.Valid = false
+	}
+	if f.DetectionRange > 0 {
+		d2 := a.vehicle.State().Pos.DistanceSquaredTo(peer.vehicle.State().Pos)
+		if d2 > f.DetectionRange*f.DetectionRange {
+			rep.Valid = false
+		}
+	}
+	if f.Latency > 0 {
+		out, ok := a.delays[li].Push(rep)
+		if !ok {
+			out.Valid = false
+		}
+		rep = out
+	}
+	return rep
+}
+
+// coordinated reports whether maneuver-sense coordination is in force at
+// time now: configured on and not inside a scheduled comm-loss window.
+func (r *Runner) coordinated(now float64) bool {
+	if !r.cfg.Coordination {
+		return false
+	}
+	return !r.faultsOn || !r.cfg.Faults.CommLost(now)
 }
 
 // applyDecision records a decision's alert bookkeeping and commands the
@@ -622,7 +734,7 @@ func (r *Runner) decideOwnship(now float64) {
 	sensorRNG := r.sensorR[0]
 	tracks := r.trackBuf[:0]
 	for j := 1; j <= r.k; j++ {
-		if pos, vel, ok := r.surveil(a, j-1, r.fleet[j], now, sensorRNG); ok {
+		if pos, vel, ok := r.surveil(a, j-1, r.fleet[j], now, sensorRNG, r.fltR[0]); ok {
 			tracks = append(tracks, geom.Track{Pos: pos, Vel: vel})
 		}
 	}
@@ -633,7 +745,7 @@ func (r *Runner) decideOwnship(now float64) {
 	}
 
 	var constraint Constraint
-	if r.cfg.Coordination {
+	if r.coordinated(now) {
 		for j := 1; j <= r.k; j++ {
 			switch r.fleet[j].lastDecision.Sense {
 			case SenseUp:
@@ -667,14 +779,14 @@ func nearestTrack(pos geom.Vec3, tracks []geom.Track) int {
 // constrained by the ownship's current claimed sense.
 func (r *Runner) decideIntruder(now float64, j int) {
 	a := r.fleet[j]
-	pos, vel, ok := r.surveil(a, 0, r.fleet[0], now, r.sensorR[j])
+	pos, vel, ok := r.surveil(a, 0, r.fleet[0], now, r.sensorR[j], r.fltR[j])
 	if !ok {
 		// No surveillance: keep flying the current command.
 		return
 	}
 
 	var constraint Constraint
-	if r.cfg.Coordination {
+	if r.coordinated(now) {
 		switch r.fleet[0].lastDecision.Sense {
 		case SenseUp:
 			constraint.BanUp = true

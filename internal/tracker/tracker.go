@@ -65,6 +65,12 @@ func (c Config) Validate() error {
 type Tracker struct {
 	cfg Config
 	est Estimate
+	// lastMeas is the timestamp of the last absorbed measurement. Coast
+	// expiry is measured from here rather than from the estimate time:
+	// Predict advances the estimate time, so measuring from est.Time
+	// would let a dead-reckoned track survive any dropout as long as it
+	// was predicted every cycle.
+	lastMeas float64
 }
 
 // New creates a tracker; the first Update initializes the track directly
@@ -93,20 +99,25 @@ func (t *Tracker) Init(cfg Config) error {
 func (t *Tracker) Estimate() Estimate { return t.est }
 
 // Reset drops the track back to uninitialized.
-func (t *Tracker) Reset() { t.est = Estimate{} }
+func (t *Tracker) Reset() {
+	t.est = Estimate{}
+	t.lastMeas = 0
+}
 
 // Predict advances the estimate to time now without a measurement (dead
-// reckoning). If the track coasts past the coast limit it resets.
+// reckoning). A track that has gone longer than the coast limit without
+// a measurement resets to uninitialized, forcing the logic downstream to
+// clear-of-conflict rather than acting on divergent dead reckoning.
 func (t *Tracker) Predict(now float64) Estimate {
 	if !t.est.Initialized {
 		return t.est
 	}
-	dt := now - t.est.Time
-	if dt <= 0 {
+	if t.cfg.CoastLimit > 0 && now-t.lastMeas > t.cfg.CoastLimit {
+		t.Reset()
 		return t.est
 	}
-	if t.cfg.CoastLimit > 0 && dt > t.cfg.CoastLimit {
-		t.Reset()
+	dt := now - t.est.Time
+	if dt <= 0 {
 		return t.est
 	}
 	t.est.Pos = t.est.Pos.Add(t.est.Vel.Scale(dt))
@@ -120,6 +131,16 @@ func (t *Tracker) Predict(now float64) Estimate {
 func (t *Tracker) Update(pos, vel geom.Vec3, now float64) Estimate {
 	if !t.est.Initialized {
 		t.est = Estimate{Pos: pos, Vel: vel, Time: now, Initialized: true}
+		t.lastMeas = now
+		return t.est
+	}
+	// Re-acquisition after a measurement gap longer than the coast limit
+	// starts a fresh track from the measurement: blending against a
+	// prediction that dead-reckoned through the whole gap would pull the
+	// estimate toward arbitrarily stale state.
+	if t.cfg.CoastLimit > 0 && now-t.lastMeas > t.cfg.CoastLimit {
+		t.est = Estimate{Pos: pos, Vel: vel, Time: now, Initialized: true}
+		t.lastMeas = now
 		return t.est
 	}
 	dt := now - t.est.Time
@@ -138,5 +159,6 @@ func (t *Tracker) Update(pos, vel geom.Vec3, now float64) Estimate {
 	// Blend the innovation-corrected velocity with the measured velocity.
 	t.est.Vel = velFromInnovation.Lerp(vel, t.cfg.VelGain)
 	t.est.Time = now
+	t.lastMeas = now
 	return t.est
 }

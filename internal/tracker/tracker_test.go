@@ -155,6 +155,63 @@ func TestCoastLimitResets(t *testing.T) {
 	}
 }
 
+func TestCoastLimitExpiresUnderPerCyclePredicts(t *testing.T) {
+	// A burst dropout predicts the track forward once per decision cycle.
+	// Each hop is well under the limit, but the time since the last
+	// MEASUREMENT keeps growing — the track must still expire, not
+	// dead-reckon forever on 1 s increments.
+	cfg := DefaultConfig()
+	cfg.CoastLimit = 3
+	tr := mustTracker(t, cfg)
+	tr.Update(geom.Vec3{}, geom.Vec3{X: 10}, 0)
+	for now := 1.0; now <= 3; now++ {
+		if est := tr.Predict(now); !est.Initialized {
+			t.Fatalf("track expired at %v s, within the %v s limit", now, cfg.CoastLimit)
+		}
+	}
+	if est := tr.Predict(4); est.Initialized {
+		t.Fatal("track survived past the coast limit under per-cycle predicts")
+	}
+}
+
+func TestReacquisitionAfterBurstReinitializes(t *testing.T) {
+	// A measurement arriving after a gap longer than the coast limit must
+	// start a fresh track at the measurement, not blend with the stale
+	// dead-reckoned state from before the burst.
+	cfg := DefaultConfig()
+	cfg.CoastLimit = 3
+	tr := mustTracker(t, cfg)
+	tr.Update(geom.Vec3{}, geom.Vec3{X: 100}, 0) // would dead-reckon to x=1000 by t=10
+	pos := geom.Vec3{X: 50, Y: 20}
+	vel := geom.Vec3{X: -5}
+	est := tr.Update(pos, vel, 10)
+	if !est.Initialized {
+		t.Fatal("re-acquisition did not initialize the track")
+	}
+	if est.Pos != pos || est.Vel != vel {
+		t.Errorf("re-acquired estimate %+v blended stale state, want exactly the measurement (%v, %v)", est, pos, vel)
+	}
+	// Same thing when the burst already expired the track via Predict.
+	tr2 := mustTracker(t, cfg)
+	tr2.Update(geom.Vec3{}, geom.Vec3{X: 100}, 0)
+	tr2.Predict(10) // expires
+	est2 := tr2.Update(pos, vel, 10)
+	if !est2.Initialized || est2.Pos != pos || est2.Vel != vel {
+		t.Errorf("re-acquisition after expiry = %+v, want exactly the measurement", est2)
+	}
+}
+
+func TestCoastUnlimitedWhenZero(t *testing.T) {
+	// CoastLimit 0 disables expiry entirely, as documented.
+	cfg := DefaultConfig()
+	cfg.CoastLimit = 0
+	tr := mustTracker(t, cfg)
+	tr.Update(geom.Vec3{}, geom.Vec3{X: 1}, 0)
+	if est := tr.Predict(1e6); !est.Initialized {
+		t.Fatal("zero coast limit expired the track")
+	}
+}
+
 func TestOutOfOrderMeasurementIgnored(t *testing.T) {
 	tr := mustTracker(t, DefaultConfig())
 	tr.Update(geom.Vec3{X: 100}, geom.Vec3{}, 10)

@@ -64,10 +64,11 @@ run_bench -run '^$' -bench '^BenchmarkTableLookupHot$' \
   -benchtime "$LOOKUP_BENCHTIME" -benchmem .
 
 # The Monte-Carlo episode engine: steady-state per-episode cost for the
-# pairwise and the two-intruder engine (b.N is the episode count, so
-# allocs/op must stay ~0 — CI gates on both) and worker-count wall-clock
-# scaling (512-episode estimates per op).
-run_bench -run '^$' -bench '^BenchmarkEvaluate(MultiIntruder)?SteadyState$' \
+# pairwise engine, the two-intruder engine and the degraded-surveillance
+# path (b.N is the episode count, so allocs/op must stay ~0 — CI gates on
+# all three) and worker-count wall-clock scaling (512-episode estimates
+# per op).
+run_bench -run '^$' -bench '^BenchmarkEvaluate(MultiIntruder|Faulted)?SteadyState$' \
   -benchtime "$EPISODE_BENCHTIME" -benchmem ./internal/montecarlo
 run_bench -run '^$' -bench '^BenchmarkEvaluateParallel$' \
   -benchtime "$PARALLEL_BENCHTIME" -benchmem ./internal/montecarlo
