@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test lint bench bench-json sweep-demo clean
+.PHONY: all build test lint bench bench-json sweep-demo rare-demo clean
 
 all: lint build test
 
@@ -31,6 +31,10 @@ bench-json:
 # Run the checked-in demo campaign (params/sweep-demo.params).
 sweep-demo:
 	$(GO) run ./cmd/sweep
+
+# Run the rare-event estimator demo campaign (params/rare-demo.params).
+rare-demo:
+	$(GO) run ./cmd/sweep -spec params/rare-demo.params
 
 clean:
 	$(GO) clean ./...

@@ -12,12 +12,21 @@
 //	sweep [-spec params/sweep-demo.params] [-out results.jsonl]
 //	      [-seed N] [-samples N] [-intruders K] [-table table.acxt] [-full]
 //	      [-extra danger.jsonl] [-faults none,light,severe]
+//	      [-estimator is,split] [-archive-proposal danger.jsonl]
 //
 // With no -out, the JSONL stream precedes the summary on stdout. Timing
 // goes to stderr so stdout stays reproducible. -extra appends the entries
 // of a danger archive (written by casearch -islands N -archive) to the
 // campaign's scenario axis, closing the sweep -> search -> archive -> sweep
 // loop.
+//
+// -estimator overrides the spec's rare-event estimator axis
+// (campaign.estimator.methods): each listed method re-estimates P(NMAC)
+// under the statistical encounter model for every system, variant and
+// fault point, reported in a dedicated summary section with effective
+// sample size and variance-reduction factor. -archive-proposal feeds a
+// danger archive's genomes to the importance-sampling estimators as
+// proposal kernels — the search's failure region steers the estimator.
 package main
 
 import (
@@ -31,6 +40,7 @@ import (
 	"acasxval/internal/campaign"
 	"acasxval/internal/cli"
 	"acasxval/internal/fault"
+	"acasxval/internal/montecarlo"
 	"acasxval/internal/search"
 )
 
@@ -52,6 +62,8 @@ func run() (err error) {
 		extra     = flag.String("extra", "", "danger-archive JSONL whose entries join the scenario axis")
 		intruders = flag.Int("intruders", 0, "override the spec's model-draw intruder count K (0 keeps the spec value; presets and explicit scenarios carry their own K)")
 		faults    = flag.String("faults", "", "override the spec's fault axis: comma list of degradation presets ("+cli.FaultNames()+"), or \"all\"")
+		estimator = flag.String("estimator", "", "override the spec's rare-event estimator axis: comma list of methods ("+strings.Join(montecarlo.Methods(), ", ")+"), or \"all\"")
+		archive   = flag.String("archive-proposal", "", "danger-archive JSONL whose genomes steer the importance-sampling estimators")
 	)
 	flag.Parse()
 
@@ -94,6 +106,28 @@ func run() (err error) {
 			}
 			spec.Faults = append(spec.Faults, campaign.FaultPoint{Name: name, Profile: p})
 		}
+	}
+	if *estimator != "" {
+		names := strings.Split(*estimator, ",")
+		if len(names) == 1 && strings.TrimSpace(names[0]) == "all" {
+			names = montecarlo.Methods()
+		}
+		spec.Estimators = nil
+		for _, name := range names {
+			spec.Estimators = append(spec.Estimators, strings.TrimSpace(name))
+		}
+	}
+	if *archive != "" {
+		entries, err := search.LoadArchiveFile(*archive)
+		if err != nil {
+			return err
+		}
+		kernels, err := search.ProposalKernels(entries)
+		if err != nil {
+			return err
+		}
+		spec.EstimatorSpec.Kernels = kernels
+		fmt.Fprintf(os.Stderr, "steering the estimator proposal with %d archive genomes from %s\n", len(kernels), *archive)
 	}
 	if *samples != 0 {
 		spec.Samples = *samples

@@ -91,6 +91,25 @@
 // penalty x severity so mild degradations that still defeat avoidance
 // outrank blackouts); examples/degraded walks the degraded-mode loop.
 //
+// Where brute-force Monte Carlo runs out — certifying probabilities far
+// smaller than 1/samples — a rare-event estimator family takes over
+// behind one switch (EstimateRareRisk, RareEventSpec, RareEventMethods):
+// importance sampling from a defensive mixture whose kernels center on
+// danger-archive genomes (ArchiveProposalKernels turns the adversarial
+// search's failure region into the proposal; "is" is unbiased, "snis"
+// self-normalized), and multi-level splitting ("split") — subset
+// simulation down a decreasing minimum-separation ladder with Metropolis
+// chains in raw parameter space. Likelihood ratios are computed on the
+// raw parameter draws; dimensions where the archive scatters stay
+// untilted and cancel exactly from the ratio. Every estimate carries its
+// effective sample size and measured variance-reduction factor
+// (RiskEstimate.ESS, .VarianceReduction), zero-success runs still report
+// a sound Clopper-Pearson-based upper bound, and the campaign engine
+// crosses an estimator axis (campaign.estimator.methods, cmd/sweep
+// -estimator, cmd/mceval -estimator) over every system, variant and
+// fault point. examples/rareevent cross-validates the family against
+// brute force on hostile wide-prior airspace.
+//
 // Everything above bottoms out in one parallel, allocation-free episode
 // engine. Every episode's random streams derive counter-style from
 // (seed, episode index), so Monte-Carlo estimates are bit-identical for

@@ -1,0 +1,83 @@
+// Example rareevent cross-validates the rare-event estimator family on a
+// hostile airspace model where NMACs are genuinely rare:
+//
+//  1. widen the default encounter model's miss-distance priors so the
+//     unequipped NMAC probability drops to a few per thousand;
+//  2. estimate that probability by brute force at full sample count;
+//  3. re-estimate it with importance sampling (plain and self-normalized)
+//     steered by danger-archive-style proposal kernels, and with
+//     multi-level splitting down a separation ladder — each at a fraction
+//     of the brute-force budget;
+//  4. report every estimate with its 95% interval, effective sample size
+//     and measured variance-reduction factor against brute force.
+//
+// The kernel rows stand in for a casearch danger archive: genomes that
+// agree on small miss distances while scattering across the nuisance
+// dimensions. In a real pipeline they come from
+// acasxval.ArchiveProposalKernels(archive).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"acasxval"
+	"acasxval/internal/encounter"
+	"acasxval/internal/montecarlo"
+)
+
+func main() {
+	// 1. Hostile airspace: the default model concentrates encounters near
+	// conflict; widening the CPA miss-distance priors makes the NMAC a
+	// rare event worth an estimator beyond brute force.
+	model := acasxval.DefaultEncounterModel()
+	model.HorizontalMissDistance = montecarlo.Uniform{Min: 0, Max: 8000}
+	model.VerticalMissDistance = montecarlo.Uniform{Min: -400, Max: 400}
+	model.Ranges.HorizontalMissDistance = encounter.Range{Min: 0, Max: 8000}
+	model.Ranges.VerticalMissDistance = encounter.Range{Min: -400, Max: 400}
+
+	// Danger-archive-style kernels in genome order
+	// {Gs_o, Vs_o, T, R, theta, Y, Gs_i, psi_i, Vs_i}: agreement on small
+	// R and Y, scatter elsewhere.
+	kernels := [][]float64{
+		{28, 5, 25, 60, 1.0, -70, 30, 5.0, -5},
+		{54, -5, 35, 350, 2.5, 25, 55, 2.0, 5},
+		{48, 3, 22, 800, 4.5, 65, 25, 0.5, -4},
+		{30, -4, 38, 1500, 5.8, -20, 50, 3.5, 4},
+	}
+
+	cfg := acasxval.DefaultMonteCarloConfig()
+	cfg.Seed = 1
+	cfg.Samples = 12000
+
+	// 2. Brute-force reference at the full budget.
+	brute, err := acasxval.EstimateRisk(model, acasxval.Unequipped, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-10s %9s %12s %26s %10s %8s\n",
+		"estimator", "episodes", "P(NMAC)", "95% CI", "ESS", "VRF")
+	fmt.Printf("%-10s %9d %12.3e [%10.3e, %10.3e] %10.1f %8.1f\n",
+		"bruteforce", cfg.Samples, brute.PNMAC, brute.PNMACCI.Lo, brute.PNMACCI.Hi,
+		float64(cfg.Samples), 1.0)
+
+	// 3-4. Each rare-event estimator at a third of the budget still beats
+	// the brute-force variance (VRF is measured per episode, so any value
+	// above 1 means the estimator wins at equal budget).
+	cfg.Samples = 4000
+	for _, method := range []string{"is", "snis", "split"} {
+		spec := acasxval.DefaultRareEventSpec(method)
+		spec.Kernels = kernels
+		spec.Defensive = 0.3
+		spec.Bandwidth = 0.02
+		spec.Levels = []float64{800, 400, 160}
+		spec.Moves = 4
+		est, err := acasxval.EstimateRareRisk(model, acasxval.Unequipped, cfg, spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s %9d %12.3e [%10.3e, %10.3e] %10.1f %8.1f\n",
+			method, cfg.Samples, est.PNMAC, est.PNMACCI.Lo, est.PNMACCI.Hi,
+			est.ESS, est.VarianceReduction)
+	}
+}

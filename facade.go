@@ -99,6 +99,10 @@ type (
 	MonteCarloConfig = montecarlo.Config
 	// RiskEstimate is a Monte-Carlo risk estimate.
 	RiskEstimate = montecarlo.Estimate
+	// RareEventSpec selects and tunes a rare-event estimator: importance
+	// sampling over a danger-archive proposal mixture, or multi-level
+	// splitting down a separation-level ladder.
+	RareEventSpec = montecarlo.RareEventSpec
 
 	// Grid2DConfig parameterizes the section III example.
 	Grid2DConfig = grid2d.Config
@@ -389,6 +393,40 @@ func EstimateMultiRisk(model MultiEncounterModel, factory SystemFactory, cfg Mon
 // RiskRatio is P(NMAC | equipped) / P(NMAC | unequipped).
 func RiskRatio(equipped, unequipped *RiskEstimate) (float64, error) {
 	return montecarlo.RiskRatio(equipped, unequipped)
+}
+
+// DefaultRareEventSpec returns a ready-to-run rare-event estimator spec for
+// the given method (see RareEventMethods).
+func DefaultRareEventSpec(method string) RareEventSpec {
+	return montecarlo.DefaultRareEventSpec(method)
+}
+
+// RareEventMethods lists the rare-event estimator method names.
+func RareEventMethods() []string { return montecarlo.Methods() }
+
+// ArchiveProposalKernels converts danger-archive entries
+// (LoadDangerArchive) into importance-sampling proposal kernels for
+// RareEventSpec.Kernels: the adversarial search's failure region steers the
+// estimator toward the events it is trying to count.
+func ArchiveProposalKernels(entries []DangerArchiveEntry) ([][]float64, error) {
+	return search.ProposalKernels(entries)
+}
+
+// EstimateRareRisk estimates P(NMAC) with the rare-event estimator the spec
+// selects — importance sampling ("is", "snis") against a defensive mixture
+// of the model and the spec's kernels, or multi-level splitting ("split")
+// down a decreasing separation-level ladder. A brute-force (or empty)
+// method is exactly EstimateRisk. Estimates report the effective sample
+// size and the measured variance-reduction factor against a brute-force run
+// of the same episode budget, and are bit-identical for any worker count.
+func EstimateRareRisk(model EncounterModel, factory SystemFactory, cfg MonteCarloConfig, spec RareEventSpec) (*RiskEstimate, error) {
+	return montecarlo.EstimateRare(model, montecarlo.SystemFactory(factory), cfg, spec)
+}
+
+// EstimateMultiRareRisk is EstimateRareRisk against a K-intruder encounter
+// model.
+func EstimateMultiRareRisk(model MultiEncounterModel, factory SystemFactory, cfg MonteCarloConfig, spec RareEventSpec) (*RiskEstimate, error) {
+	return montecarlo.EstimateRareMulti(model, montecarlo.SystemFactory(factory), cfg, spec)
 }
 
 // DefaultCampaignSpec returns a campaign skeleton: every named preset

@@ -27,6 +27,11 @@ const modelDrawSalt = 0x5CEA12105A17
 // modelDrawName labels the i-th encounter-model draw in the scenario axis.
 func modelDrawName(i int) string { return fmt.Sprintf("model/%03d", i) }
 
+// estimatorScenario is the reserved scenario name of estimator cells: they
+// estimate against the statistical encounter model itself, not a fixed
+// geometry.
+const estimatorScenario = "model"
+
 // SystemSet maps system names to factories producing fresh system pairs.
 type SystemSet map[string]montecarlo.SystemFactory
 
@@ -79,7 +84,12 @@ type CellResult struct {
 	// Fault names the fault-axis point the cell ran under; omitted for
 	// the fault-free point, so unfaulted sweeps keep their historical
 	// byte stream.
-	Fault      string  `json:"fault,omitempty"`
+	Fault string `json:"fault,omitempty"`
+	// Estimator names the rare-event estimation method of an estimator
+	// cell (scenario "model"): the cell estimates P(NMAC) under the
+	// statistical encounter model rather than replaying a fixed geometry.
+	// Empty for classic cells, which keep their historical byte stream.
+	Estimator  string  `json:"estimator,omitempty"`
 	Samples    int     `json:"samples"`
 	NMACs      int     `json:"nmacs"`
 	PNMAC      float64 `json:"p_nmac"`
@@ -88,6 +98,12 @@ type CellResult struct {
 	AlertRate  float64 `json:"alert_rate"`
 	MeanAlerts float64 `json:"mean_alerts"`
 	MeanMinSep float64 `json:"mean_min_sep_m"`
+	// ESS and VarianceReduction report the estimator cell's effective
+	// sample size and measured variance-reduction factor against a
+	// brute-force run of the same episode budget (set only on estimator
+	// cells; see montecarlo.Estimate).
+	ESS               float64 `json:"ess,omitempty"`
+	VarianceReduction float64 `json:"variance_reduction,omitempty"`
 	// Params is the cell's encounter parameter vector in genome order, so
 	// downstream consumers (the adversarial search's campaign seeding) can
 	// reconstruct the exact scenario from the JSONL record alone.
@@ -149,15 +165,17 @@ type Result struct {
 	TotalRuns int
 }
 
-// cell is one unit of work before execution.
+// cell is one unit of work before execution. An estimator cell (estimator
+// != "") carries no fixed params: it samples the spec's statistical model.
 type cell struct {
-	index    int
-	scenario string
-	geometry string
-	params   encounter.MultiParams
-	system   string
-	variant  Variant
-	flt      FaultPoint
+	index     int
+	scenario  string
+	geometry  string
+	params    encounter.MultiParams
+	system    string
+	variant   Variant
+	flt       FaultPoint
+	estimator string
 }
 
 // cells expands the spec's cross-product in deterministic order:
@@ -203,6 +221,26 @@ func (s Spec) cells() ([]cell, error) {
 						system:   sys,
 						variant:  v,
 						flt:      fp,
+					})
+				}
+			}
+		}
+	}
+	// Estimator cells go strictly after the classic grid: the leading
+	// bytes of the JSONL stream — and every classic cell index — are
+	// untouched by declaring the axis.
+	for _, v := range s.variantsOrDefault() {
+		for _, fp := range s.faultsOrDefault() {
+			for _, est := range s.Estimators {
+				for _, sys := range s.Systems {
+					cells = append(cells, cell{
+						index:     len(cells),
+						scenario:  estimatorScenario,
+						geometry:  estimatorScenario,
+						system:    sys,
+						variant:   v,
+						flt:       fp,
+						estimator: est,
 					})
 				}
 			}
@@ -285,6 +323,7 @@ func Run(spec Spec, systems SystemSet, jsonl io.Writer) (*Result, error) {
 						System:     c.system,
 						Variant:    c.variant.Name,
 						Fault:      c.flt.label(),
+						Estimator:  c.estimator,
 						Samples:    est.Samples,
 						NMACs:      est.NMACs,
 						PNMAC:      est.PNMAC,
@@ -293,7 +332,14 @@ func Run(spec Spec, systems SystemSet, jsonl io.Writer) (*Result, error) {
 						AlertRate:  est.AlertRate,
 						MeanAlerts: est.MeanAlerts,
 						MeanMinSep: est.MeanMinSeparation,
-						Params:     c.params.Vector(),
+					}
+					if c.estimator == "" {
+						results[i].Params = c.params.Vector()
+					} else {
+						// ESS and VRF only mean something against an
+						// estimator; classic cells stay byte-identical.
+						results[i].ESS = est.ESS
+						results[i].VarianceReduction = est.VarianceReduction
 					}
 				}
 				doneCh <- i
@@ -391,6 +437,15 @@ func runCell(spec Spec, c cell, factory montecarlo.SystemFactory, episodeWorkers
 	// The fault axis replaces whatever profile the base configuration
 	// carried: each point IS the cell's degradation condition.
 	cfg.Run.Faults = c.flt.Profile
+	if c.estimator != "" {
+		// Estimator cells estimate under the statistical model. The seed
+		// identity omits the method (like it omits the fault point), so
+		// every estimator — and brute force — draws comparable randomness
+		// for the same (system, variant).
+		es := spec.EstimatorSpec
+		es.Method = c.estimator
+		return montecarlo.EstimateRareMultiWithScratch(spec.multiModel(), factory, cfg, es, scratch)
+	}
 	return montecarlo.EvaluateMultiWithScratch(montecarlo.MultiPointModel(c.params), factory, cfg, scratch)
 }
 
@@ -409,6 +464,12 @@ func summarize(spec Spec, cells []CellResult) []SystemSummary {
 	}
 	aggs := make(map[key]*agg)
 	for _, c := range cells {
+		if c.Estimator != "" {
+			// Estimator cells measure the model-level rare-event risk;
+			// pooling their weighted estimates with fixed-scenario counts
+			// would corrupt both. They get their own summary section.
+			continue
+		}
 		k := key{c.System, c.Variant, c.Fault}
 		a := aggs[k]
 		if a == nil {
@@ -507,5 +568,38 @@ func (r *Result) SummaryTable() string {
 				s.System, s.Variant, s.Cells, s.Samples, s.PNMAC, s.AlertRate, s.MeanMinSep, ratio)
 		}
 	}
+	r.appendEstimatorTable(&b)
 	return b.String()
+}
+
+// appendEstimatorTable renders the estimator cells (scenario "model") as
+// their own section: rare-event P(NMAC) estimates under the statistical
+// encounter model, with interval, effective sample size and measured
+// variance-reduction factor. Absent when the campaign declared no
+// estimator axis, so classic summaries keep their historical layout.
+func (r *Result) appendEstimatorTable(b *strings.Builder) {
+	var rows []CellResult
+	for _, c := range r.Cells {
+		if c.Estimator != "" {
+			rows = append(rows, c)
+		}
+	}
+	if len(rows) == 0 {
+		return
+	}
+	if b.Len() > 0 {
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(b, "rare-event estimates (statistical encounter model)\n")
+	fmt.Fprintf(b, "%-10s %-10s %-14s %-10s %8s %7s %11s %24s %9s %6s\n",
+		"estimator", "system", "variant", "fault", "episodes", "nmacs", "P(NMAC)", "interval", "ESS", "VRF")
+	for _, c := range rows {
+		flt := c.Fault
+		if flt == "" {
+			flt = "-"
+		}
+		fmt.Fprintf(b, "%-10s %-10s %-14s %-10s %8d %7d %11.3e [%9.3e, %9.3e] %9.1f %6.1f\n",
+			c.Estimator, c.System, c.Variant, flt, c.Samples, c.NMACs,
+			c.PNMAC, c.PNMACLo, c.PNMACHi, c.ESS, c.VarianceReduction)
+	}
 }

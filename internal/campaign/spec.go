@@ -159,6 +159,19 @@ type Spec struct {
 	// "none" is byte-identical to no axis at all.
 	Faults []FaultPoint
 
+	// Estimators is the rare-event estimator axis: each named method
+	// (montecarlo.Methods) re-estimates P(NMAC) under the statistical
+	// encounter model itself — not a fixed scenario — for every system,
+	// variant and fault point. Estimator cells are appended after the
+	// classic fixed-scenario grid under the reserved scenario name
+	// "model", so declaring the axis never perturbs existing cell bytes.
+	// Empty means no estimator cells.
+	Estimators []string
+	// EstimatorSpec carries the shared estimator tuning — archive kernels,
+	// defensive weight, splitting ladder — applied to every Estimators
+	// point; its Method field is overridden by each point's name.
+	EstimatorSpec montecarlo.RareEventSpec
+
 	// Samples is the per-cell simulation count (noise seeds vary per
 	// sample; default 10).
 	Samples int
@@ -244,8 +257,8 @@ func (s Spec) Validate() error {
 	if s.Name == "" {
 		return fmt.Errorf("campaign: empty name")
 	}
-	if len(s.Presets) == 0 && len(s.Scenarios) == 0 && s.ModelDraws <= 0 {
-		return fmt.Errorf("campaign: no scenarios (want presets, explicit scenarios and/or model draws)")
+	if len(s.Presets) == 0 && len(s.Scenarios) == 0 && s.ModelDraws <= 0 && len(s.Estimators) == 0 {
+		return fmt.Errorf("campaign: no scenarios (want presets, explicit scenarios, model draws and/or estimators)")
 	}
 	if s.ModelDraws < 0 {
 		return fmt.Errorf("campaign: negative model draws %d", s.ModelDraws)
@@ -332,6 +345,31 @@ func (s Spec) Validate() error {
 			return fmt.Errorf("campaign: variant %q: %w", v.Name, err)
 		}
 	}
+	seenEst := make(map[string]bool, len(s.Estimators))
+	for _, m := range s.Estimators {
+		if m == "" {
+			return fmt.Errorf("campaign: empty estimator method")
+		}
+		if seenEst[m] {
+			return fmt.Errorf("campaign: duplicate estimator method %q", m)
+		}
+		seenEst[m] = true
+		es := s.EstimatorSpec
+		es.Method = m
+		if err := es.Validate(); err != nil {
+			return fmt.Errorf("campaign: estimator %q: %w", m, err)
+		}
+	}
+	if len(s.Estimators) > 0 {
+		if seenScenario[estimatorScenario] {
+			return fmt.Errorf("campaign: scenario name %q is reserved for estimator cells", estimatorScenario)
+		}
+		// Estimator cells sample the statistical model even when no
+		// model-draw scenarios do.
+		if err := s.model().Validate(); err != nil {
+			return err
+		}
+	}
 	seenFault := make(map[string]bool, len(s.Faults))
 	disabled := 0
 	for _, fp := range s.faultsOrDefault() {
@@ -365,6 +403,10 @@ func (s Spec) Validate() error {
 //	                            preset names), or "all" for every pairwise
 //	                            preset
 //	campaign.model.draws        sampled encounter-model scenarios
+//	campaign.model.hmd          "min, max" uniform prior replacing the
+//	                            model's CPA horizontal miss distance
+//	campaign.model.vmd          "min, max" uniform prior replacing the
+//	                            model's CPA vertical miss distance
 //	campaign.intruders          intruder count K of each model draw
 //	                            (default 1, the classic pairwise draws)
 //	campaign.systems            comma list of registered system names
@@ -393,6 +435,12 @@ func (s Spec) Validate() error {
 //	campaign.faults.N.latency
 //	campaign.faults.N.commloss.start
 //	campaign.faults.N.commloss.duration
+//	campaign.estimator.methods   rare-event estimator axis: comma list of
+//	                             montecarlo.Methods names, or "all"
+//	campaign.estimator.defensive shared estimator tuning (see
+//	campaign.estimator.bandwidth montecarlo.SpecFromConfig for the full
+//	campaign.estimator.levels    field menu and kernel.N rows)
+//	campaign.estimator.kernel.N
 func FromConfig(c *config.Params) (Spec, error) {
 	s := DefaultSpec()
 	s.Name = c.StringOr("campaign.name", s.Name)
@@ -402,6 +450,9 @@ func FromConfig(c *config.Params) (Spec, error) {
 	}
 	var err error
 	if s.ModelDraws, err = c.IntOr("campaign.model.draws", 0); err != nil {
+		return s, err
+	}
+	if err = modelFromConfig(c, &s); err != nil {
 		return s, err
 	}
 	if s.Intruders, err = c.IntOr("campaign.intruders", 0); err != nil {
@@ -498,7 +549,86 @@ func FromConfig(c *config.Params) (Spec, error) {
 	if err := validateFaultKeys(c, parsedFaults); err != nil {
 		return s, err
 	}
+	s.Estimators = c.StringsOr("campaign.estimator.methods", nil)
+	if len(s.Estimators) == 1 && s.Estimators[0] == "all" {
+		s.Estimators = montecarlo.Methods()
+	}
+	if err := validateEstimatorKeys(c, len(s.Estimators) > 0); err != nil {
+		return s, err
+	}
+	if s.EstimatorSpec, err = montecarlo.SpecFromConfig(c, "campaign.estimator."); err != nil {
+		return s, err
+	}
 	return s, s.Validate()
+}
+
+// modelFromConfig applies the optional campaign.model.hmd / .vmd keys:
+// each is a "min, max" pair replacing the statistical model's CPA
+// miss-distance prior (and matching sampling range) with a uniform
+// interval. Widening them spreads the encounter mass away from conflict,
+// turning the NMAC into a genuinely rare event — the regime the
+// campaign.estimator axis exists for. Specs without these keys keep
+// s.Model nil and the default model, so their output is untouched.
+func modelFromConfig(c *config.Params, s *Spec) error {
+	for _, mk := range []struct {
+		key      string
+		vertical bool
+	}{
+		{"campaign.model.hmd", false},
+		{"campaign.model.vmd", true},
+	} {
+		if !c.Has(mk.key) {
+			continue
+		}
+		v, err := c.Floats(mk.key)
+		if err != nil {
+			return err
+		}
+		if len(v) != 2 || !(v[0] < v[1]) {
+			return fmt.Errorf("%s: want \"min, max\" with min < max, got %v", mk.key, v)
+		}
+		if s.Model == nil {
+			m := montecarlo.DefaultEncounterModel()
+			s.Model = &m
+		}
+		d := montecarlo.Uniform{Min: v[0], Max: v[1]}
+		r := encounter.Range{Min: v[0], Max: v[1]}
+		if mk.vertical {
+			s.Model.VerticalMissDistance = d
+			s.Model.Ranges.VerticalMissDistance = r
+		} else {
+			s.Model.HorizontalMissDistance = d
+			s.Model.Ranges.HorizontalMissDistance = r
+		}
+	}
+	return nil
+}
+
+// validateEstimatorKeys rejects campaign.estimator.* keys the estimator
+// codec does not consume, and estimator tuning declared without the axis —
+// either would otherwise silently estimate nothing or the wrong thing.
+func validateEstimatorKeys(c *config.Params, haveAxis bool) error {
+	const pfx = "campaign.estimator."
+	for _, key := range c.Keys() {
+		if !strings.HasPrefix(key, pfx) {
+			continue
+		}
+		rest := key[len(pfx):]
+		if rest == montecarlo.KeyMethod {
+			return fmt.Errorf("campaign: %q: the estimator axis is declared as campaign.estimator.methods (a comma list)", key)
+		}
+		if rest == "methods" {
+			continue
+		}
+		if !montecarlo.IsSpecKey(rest) {
+			return fmt.Errorf("campaign: unknown estimator key %q (want methods, %s, or kernel.N)",
+				key, strings.Join(montecarlo.SpecFieldNames(), ", "))
+		}
+		if !haveAxis {
+			return fmt.Errorf("campaign: orphaned estimator key %q (declare campaign.estimator.methods to enable the axis)", key)
+		}
+	}
+	return nil
 }
 
 // validateVariantKeys rejects campaign.variant.* keys the parse loop did

@@ -1,0 +1,275 @@
+package montecarlo
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"acasxval/internal/encounter"
+)
+
+// This file gives every Distribution an evaluable log density, which is what
+// turns the sampling models into importance-sampling targets: a likelihood
+// ratio p(x)/q(x) needs p and q as functions, not just as samplers.
+//
+// Densities are evaluated on the RAW draw vector (the nine per-intruder
+// values SampleInto writes into its buffer, before range clamping and
+// shared-state normalization). The simulated encounter is a deterministic
+// function of the raw draws, so importance sampling over raw-draw space is
+// exact even though the clamp makes the draw→encounter map many-to-one.
+//
+// Continuous dimensions report a log density (Lebesgue base measure);
+// degenerate dimensions — Constant, zero-width Uniform, zero-sigma or
+// fully-rejected TruncNormal — report a log mass (0 at the atom, -Inf
+// elsewhere). A proposal must match the target's base measure dimension by
+// dimension, which the archive-proposal builder guarantees by reusing the
+// target's own distribution on every atomic dimension.
+
+const log2Pi = 1.8378770664093453 // math.Log(2 * math.Pi)
+
+// normCDF is the standard normal CDF.
+func normCDF(x float64) float64 {
+	return 0.5 * (1 + math.Erf(x/math.Sqrt2))
+}
+
+// atomPoint returns the single support point of a degenerate distribution
+// and whether d is degenerate at all.
+func atomPoint(d Distribution) (float64, bool) {
+	switch v := d.(type) {
+	case Constant:
+		return v.Value, true
+	case Uniform:
+		if v.Max <= v.Min {
+			return v.Min, true
+		}
+	case TruncNormal:
+		if v.Sigma <= 0 || v.Max <= v.Min {
+			return clampTo(v.Mean, v.Min, v.Max), true
+		}
+		// A truncation window with essentially no normal mass makes the
+		// rejection sampler fall through to its clamp, collapsing the
+		// distribution onto one point.
+		if truncMass(v) < 1e-12 {
+			return clampTo(v.Mean, v.Min, v.Max), true
+		}
+	}
+	return 0, false
+}
+
+func clampTo(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// truncMass returns the normal probability mass inside [Min, Max].
+func truncMass(n TruncNormal) float64 {
+	return normCDF((n.Max-n.Mean)/n.Sigma) - normCDF((n.Min-n.Mean)/n.Sigma)
+}
+
+// logProb returns the log density (continuous) or log mass (atomic) of x
+// under d. It is allocation-free: the rare-event estimators call it per
+// dimension per episode.
+func logProb(d Distribution, x float64) float64 {
+	if p, ok := atomPoint(d); ok {
+		if x == p {
+			return 0
+		}
+		return math.Inf(-1)
+	}
+	switch v := d.(type) {
+	case Uniform:
+		if x < v.Min || x > v.Max {
+			return math.Inf(-1)
+		}
+		return -math.Log(v.Max - v.Min)
+	case TruncNormal:
+		if x < v.Min || x > v.Max {
+			return math.Inf(-1)
+		}
+		z := (x - v.Mean) / v.Sigma
+		return -0.5*z*z - math.Log(v.Sigma) - 0.5*log2Pi - math.Log(truncMass(v))
+	case Mixture:
+		return mixtureLogProb(v, x)
+	}
+	return math.Inf(-1)
+}
+
+// mixtureLogProb computes log(sum_i w_i exp(lp_i) / sum_i w_i) with the
+// usual max-shift for stability.
+func mixtureLogProb(m Mixture, x float64) float64 {
+	maxLP := math.Inf(-1)
+	total := 0.0
+	for i, w := range m.Weights {
+		total += w
+		if w <= 0 {
+			continue
+		}
+		if lp := logProb(m.Components[i], x); lp > maxLP {
+			maxLP = lp
+		}
+	}
+	if math.IsInf(maxLP, -1) || total <= 0 {
+		return math.Inf(-1)
+	}
+	sum := 0.0
+	for i, w := range m.Weights {
+		if w <= 0 {
+			continue
+		}
+		sum += w * math.Exp(logProb(m.Components[i], x)-maxLP)
+	}
+	return maxLP + math.Log(sum/total)
+}
+
+// supportBounds returns the smallest interval containing d's support.
+func supportBounds(d Distribution) (lo, hi float64) {
+	if p, ok := atomPoint(d); ok {
+		return p, p
+	}
+	switch v := d.(type) {
+	case Uniform:
+		return v.Min, v.Max
+	case TruncNormal:
+		return v.Min, v.Max
+	case Mixture:
+		lo, hi = math.Inf(1), math.Inf(-1)
+		for i, w := range v.Weights {
+			if w <= 0 {
+				continue
+			}
+			clo, chi := supportBounds(v.Components[i])
+			lo = math.Min(lo, clo)
+			hi = math.Max(hi, chi)
+		}
+		return lo, hi
+	}
+	return math.Inf(-1), math.Inf(1)
+}
+
+// densitySupported reports whether d's log density is well defined for
+// importance sampling. The one unsupported shape is a mixture that combines
+// atomic and continuous components in the same dimension: its "density"
+// would mix base measures, so likelihood ratios against it are meaningless.
+func densitySupported(d Distribution) error {
+	m, ok := d.(Mixture)
+	if !ok {
+		return nil
+	}
+	atoms, continuous := 0, 0
+	for i, w := range m.Weights {
+		if w <= 0 {
+			continue
+		}
+		if err := densitySupported(m.Components[i]); err != nil {
+			return err
+		}
+		if _, atomic := m.Components[i].(Mixture); atomic {
+			// Nested mixtures were vetted recursively above; classify them
+			// by their own composition.
+			if mixtureAtomic(m.Components[i].(Mixture)) {
+				atoms++
+			} else {
+				continuous++
+			}
+			continue
+		}
+		if _, isAtom := atomPoint(m.Components[i]); isAtom {
+			atoms++
+		} else {
+			continuous++
+		}
+	}
+	if atoms > 0 && continuous > 0 {
+		return fmt.Errorf("montecarlo: mixture combines atomic and continuous components; its density is not defined for importance sampling")
+	}
+	return nil
+}
+
+// mixtureAtomic reports whether every positively-weighted component of m is
+// atomic.
+func mixtureAtomic(m Mixture) bool {
+	for i, w := range m.Weights {
+		if w <= 0 {
+			continue
+		}
+		if nested, ok := m.Components[i].(Mixture); ok {
+			if !mixtureAtomic(nested) {
+				return false
+			}
+			continue
+		}
+		if _, isAtom := atomPoint(m.Components[i]); !isAtom {
+			return false
+		}
+	}
+	return true
+}
+
+// rawLogProb sums the per-dimension log densities of a raw nine-parameter
+// draw vector under the model. Allocation-free.
+func (m *EncounterModel) rawLogProb(raw []float64) float64 {
+	lp := logProb(m.OwnGroundSpeed, raw[0])
+	lp += logProb(m.OwnVerticalSpeed, raw[1])
+	lp += logProb(m.TimeToCPA, raw[2])
+	lp += logProb(m.HorizontalMissDistance, raw[3])
+	lp += logProb(m.ApproachAngle, raw[4])
+	lp += logProb(m.VerticalMissDistance, raw[5])
+	lp += logProb(m.IntruderGroundSpeed, raw[6])
+	lp += logProb(m.IntruderBearing, raw[7])
+	lp += logProb(m.IntruderVerticalSpeed, raw[8])
+	return lp
+}
+
+// rawLogProb sums the per-intruder raw-draw log densities of a flat
+// K*NumParams raw vector under the multi-intruder model.
+func (m *MultiEncounterModel) rawLogProb(raw []float64) float64 {
+	lp := 0.0
+	for k := range m.Intruders {
+		lp += m.Intruders[k].rawLogProb(raw[k*encounter.NumParams : (k+1)*encounter.NumParams])
+		if math.IsInf(lp, -1) {
+			return lp
+		}
+	}
+	return lp
+}
+
+// densitySupported checks every dimension of every intruder model.
+func (m *MultiEncounterModel) densitySupported() error {
+	for k := range m.Intruders {
+		for i, d := range m.Intruders[k].all() {
+			if err := densitySupported(d); err != nil {
+				return fmt.Errorf("intruder %d parameter %d: %w", k, i, err)
+			}
+		}
+	}
+	return nil
+}
+
+// sampleRawInto draws one multi-intruder encounter exactly as SampleInto
+// does, additionally copying the K*NumParams raw parameter draws into raw.
+// The returned MultiParams aliases dst; no allocation.
+func (m *MultiEncounterModel) sampleRawInto(rng *rand.Rand, buf *[encounter.NumParams]float64, raw []float64, dst []encounter.Params) encounter.MultiParams {
+	for i := range m.Intruders {
+		dst[i] = m.Intruders[i].SampleInto(rng, buf)
+		copy(raw[i*encounter.NumParams:(i+1)*encounter.NumParams], buf[:])
+	}
+	encounter.NormalizeShared(dst)
+	return encounter.MultiParams{Intruders: dst}
+}
+
+// paramsFromRaw reconstructs the clamped, shared-state-normalized encounter
+// a raw draw vector maps to — the same deterministic pipeline SampleInto
+// applies after drawing. dst must have NumIntruders entries; no allocation.
+func (m *MultiEncounterModel) paramsFromRaw(raw []float64, dst []encounter.Params) encounter.MultiParams {
+	for k := range m.Intruders {
+		p, _ := encounter.FromVector(raw[k*encounter.NumParams : (k+1)*encounter.NumParams])
+		dst[k] = m.Intruders[k].Ranges.Clamp(p)
+	}
+	encounter.NormalizeShared(dst)
+	return encounter.MultiParams{Intruders: dst}
+}

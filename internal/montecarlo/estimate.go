@@ -87,14 +87,28 @@ type Estimate struct {
 	// adversarial search engine score genomes straight off the Monte-Carlo
 	// harness (fitness = gain * MeanInverseSeparation).
 	MeanInverseSeparation float64
+	// ESS is the effective sample size behind PNMAC. Brute force reports
+	// Samples; importance sampling reports the Kish size (Σw)²/Σw² of the
+	// likelihood-ratio weights; splitting reports the brute-force sample
+	// count that would match the estimator's variance.
+	ESS float64
+	// VarianceReduction is the variance-reduction factor versus brute
+	// force at the same episode budget: Var_bruteforce / Var_estimator,
+	// with Var_bruteforce = p(1-p)/Samples at the estimator's own point
+	// estimate. Brute force reports 1; zero when undefined (p estimated
+	// as exactly 0 or 1).
+	VarianceReduction float64
 }
 
-// outcome is the per-simulation record pooled into an Estimate.
+// outcome is the per-simulation record pooled into an Estimate. The
+// importance-sampling path additionally carries the episode's
+// log-likelihood-ratio; the brute-force path leaves it zero.
 type outcome struct {
 	nmac    bool
 	alerted bool
 	alerts  int
 	minSep  float64
+	logw    float64
 	err     error
 }
 
@@ -147,6 +161,11 @@ type world struct {
 	// params is the per-episode encounter scratch: one entry per intruder,
 	// refilled by every sample.
 	params []encounter.Params
+	// raw and chain are the rare-event estimators' flat K*NumParams draw
+	// scratches: raw holds the current proposal draw, chain a splitting
+	// chain's accepted state.
+	raw   []float64
+	chain []float64
 }
 
 // prepare (re)wires the world for one Evaluate call over k-intruder
@@ -168,6 +187,13 @@ func (w *world) prepare(run sim.RunConfig, factory SystemFactory, k int) error {
 		w.params = make([]encounter.Params, k)
 	}
 	w.params = w.params[:k]
+	dim := k * encounter.NumParams
+	if cap(w.raw) < dim {
+		w.raw = make([]float64, dim)
+		w.chain = make([]float64, dim)
+	}
+	w.raw = w.raw[:dim]
+	w.chain = w.chain[:dim]
 	return nil
 }
 
@@ -224,6 +250,74 @@ func EvaluateWithScratch(model EncounterModel, factory SystemFactory, cfg Config
 	return EvaluateMultiWithScratch(MultiEncounterModel{Intruders: []EncounterModel{model}}, factory, cfg, scratch)
 }
 
+// prepareWorlds wires one reusable simulation world per effective worker
+// for an evaluation over tasks work items. Worlds are prepared serially up
+// front: world growth must not race, and a mis-wired configuration should
+// fail before any episode runs. Workers beyond the batch count could never
+// claim work, so they are clamped away (results are worker-count invariant,
+// so clamping is free).
+func prepareWorlds(scratch *Scratch, cfg *Config, factory SystemFactory, intruders, tasks int) ([]*world, error) {
+	workers := cfg.Parallelism
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if maxUseful := (tasks + episodeBatch - 1) / episodeBatch; workers > maxUseful {
+		workers = maxUseful
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	worlds := make([]*world, workers)
+	for i := range worlds {
+		worlds[i] = scratch.world(i)
+		if err := worlds[i].prepare(cfg.Run, factory, intruders); err != nil {
+			return nil, err
+		}
+	}
+	return worlds, nil
+}
+
+// runEpisodes distributes n independent work items over the prepared
+// worlds, calling run(world, i) once per item. Item identity is the index i,
+// never the claiming order, so the results are bit-identical for any number
+// of worlds. A single world runs the serial fast path: no goroutines or
+// counter traffic — the campaign pool pins saturated sweeps' cells to one
+// worker each, so this is their steady state.
+func runEpisodes(worlds []*world, n int, run func(w *world, i int)) {
+	if len(worlds) <= 1 {
+		w := worlds[0]
+		for i := 0; i < n; i++ {
+			run(w, i)
+		}
+		return
+	}
+	// Items are claimed in batches off a shared atomic counter; the slot
+	// index carries the item's identity, so scheduling cannot perturb the
+	// result.
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(len(worlds))
+	for _, w := range worlds {
+		go func(w *world) {
+			defer wg.Done()
+			for {
+				start := int(next.Add(episodeBatch)) - episodeBatch
+				if start >= n {
+					return
+				}
+				end := start + episodeBatch
+				if end > n {
+					end = n
+				}
+				for i := start; i < end; i++ {
+					run(w, i)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
 // EvaluateMultiWithScratch is EvaluateMulti with caller-owned state reuse
 // (see EvaluateWithScratch); at a steady intruder count the per-episode
 // steady state allocates nothing.
@@ -241,17 +335,6 @@ func EvaluateMultiWithScratch(model MultiEncounterModel, factory SystemFactory, 
 	if confidence == 0 {
 		confidence = 0.95
 	}
-	workers := cfg.Parallelism
-	if workers <= 0 {
-		workers = runtime.NumCPU()
-	}
-	// A worker beyond the batch count could never claim work; don't pay
-	// its world wiring and goroutine. (Results are worker-count invariant,
-	// so clamping is free.)
-	if maxUseful := (cfg.Samples + episodeBatch - 1) / episodeBatch; workers > maxUseful {
-		workers = maxUseful
-	}
-
 	if scratch == nil {
 		scratch = &Scratch{}
 	}
@@ -259,50 +342,13 @@ func EvaluateMultiWithScratch(model MultiEncounterModel, factory SystemFactory, 
 	// Mixture cumulative weights are precomputed once per call, never per
 	// draw.
 	model = model.Prepared()
-	// Worlds are prepared serially up front: world growth must not race,
-	// and a mis-wired configuration should fail before any episode runs.
-	worlds := make([]*world, workers)
-	for i := range worlds {
-		worlds[i] = scratch.world(i)
-		if err := worlds[i].prepare(cfg.Run, factory, model.NumIntruders()); err != nil {
-			return nil, err
-		}
+	worlds, err := prepareWorlds(scratch, &cfg, factory, model.NumIntruders(), cfg.Samples)
+	if err != nil {
+		return nil, err
 	}
-	if workers <= 1 {
-		// Serial fast path: no goroutines or counter traffic. The campaign
-		// pool pins saturated sweeps' cells to one worker each, so this is
-		// their steady state.
-		w := worlds[0]
-		for i := 0; i < cfg.Samples; i++ {
-			w.simulate(&model, &cfg, i, outcomes)
-		}
-	} else {
-		// Episodes are claimed in batches off a shared atomic counter; the
-		// outcome slot index, not the claiming order, carries the episode's
-		// identity, so scheduling cannot perturb the estimate.
-		var next atomic.Int64
-		var wg sync.WaitGroup
-		wg.Add(workers)
-		for _, w := range worlds {
-			go func(w *world) {
-				defer wg.Done()
-				for {
-					start := int(next.Add(episodeBatch)) - episodeBatch
-					if start >= cfg.Samples {
-						return
-					}
-					end := start + episodeBatch
-					if end > cfg.Samples {
-						end = cfg.Samples
-					}
-					for i := start; i < end; i++ {
-						w.simulate(&model, &cfg, i, outcomes)
-					}
-				}
-			}(w)
-		}
-		wg.Wait()
-	}
+	runEpisodes(worlds, cfg.Samples, func(w *world, i int) {
+		w.simulate(&model, &cfg, i, outcomes)
+	})
 
 	est := &Estimate{Samples: cfg.Samples}
 	var sep, alerts, invSep stats.Accumulator
@@ -330,6 +376,9 @@ func EvaluateMultiWithScratch(model MultiEncounterModel, factory SystemFactory, 
 	est.MeanMinSeparation = sep.Mean()
 	est.MeanAlerts = alerts.Mean()
 	est.MeanInverseSeparation = invSep.Mean()
+	// Brute force is its own variance baseline.
+	est.ESS = float64(cfg.Samples)
+	est.VarianceReduction = 1
 	return est, nil
 }
 

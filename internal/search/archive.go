@@ -260,3 +260,20 @@ func CampaignScenarios(entries []ArchiveEntry) ([]campaign.Scenario, error) {
 	}
 	return out, nil
 }
+
+// ProposalKernels converts archive entries into importance-sampling
+// proposal kernel centers (montecarlo.RareEventSpec.Kernels): each entry's
+// genome vector becomes one kernel, so the danger archive steers the
+// rare-event estimator toward the failure region it discovered. Entries
+// are validated; genome lengths are checked against the encounter model at
+// estimation time.
+func ProposalKernels(entries []ArchiveEntry) ([][]float64, error) {
+	out := make([][]float64, 0, len(entries))
+	for _, e := range entries {
+		if err := e.validate(); err != nil {
+			return nil, err
+		}
+		out = append(out, append([]float64(nil), e.Params...))
+	}
+	return out, nil
+}

@@ -1,0 +1,134 @@
+package stats
+
+import "math"
+
+// ClopperPearsonCI returns the exact (Clopper–Pearson) confidence interval
+// for a binomial proportion with successes out of trials at the given
+// two-sided confidence level. Unlike the normal approximation it never
+// degenerates: at 0 successes the interval is [0, 1-(alpha/2)^(1/n)] and at
+// n successes it is [(alpha/2)^(1/n), 1], so zero-event rare-event streams
+// still report honest uncertainty. The exact interval is conservative
+// (coverage at least the nominal level), which is the right bias for
+// certification-style tail bounds.
+func ClopperPearsonCI(successes, trials int, level float64) Interval {
+	if trials <= 0 {
+		return Interval{Lo: 0, Hi: 1}
+	}
+	if successes < 0 {
+		successes = 0
+	}
+	if successes > trials {
+		successes = trials
+	}
+	if level <= 0 || level >= 1 {
+		level = 0.95
+	}
+	alpha := 1 - level
+	n := float64(trials)
+	s := float64(successes)
+	iv := Interval{Lo: 0, Hi: 1}
+	if successes > 0 {
+		iv.Lo = betaQuantile(alpha/2, s, n-s+1)
+	}
+	if successes < trials {
+		iv.Hi = betaQuantile(1-alpha/2, s+1, n-s)
+	}
+	return iv
+}
+
+// betaQuantile inverts the regularized incomplete beta function: it returns
+// the x in [0, 1] with RegIncBeta(a, b, x) = p, by bisection (the CDF is
+// monotone; ~100 halvings exhaust float64 resolution).
+func betaQuantile(p, a, b float64) float64 {
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return 1
+	}
+	lo, hi := 0.0, 1.0
+	for i := 0; i < 100; i++ {
+		mid := 0.5 * (lo + hi)
+		if RegIncBeta(a, b, mid) < p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return 0.5 * (lo + hi)
+}
+
+// RegIncBeta computes the regularized incomplete beta function I_x(a, b) —
+// the CDF of the Beta(a, b) distribution at x — via the standard continued
+// fraction, using the symmetry I_x(a,b) = 1 - I_{1-x}(b,a) to stay in the
+// rapidly-converging region.
+func RegIncBeta(a, b, x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	if x >= 1 {
+		return 1
+	}
+	lgab, _ := math.Lgamma(a + b)
+	lga, _ := math.Lgamma(a)
+	lgb, _ := math.Lgamma(b)
+	front := math.Exp(lgab - lga - lgb + a*math.Log(x) + b*math.Log1p(-x))
+	if x < (a+1)/(a+b+2) {
+		return front * betaCF(a, b, x) / a
+	}
+	return 1 - front*betaCF(b, a, 1-x)/b
+}
+
+// betaCF evaluates the continued fraction for the incomplete beta function
+// by the modified Lentz method.
+func betaCF(a, b, x float64) float64 {
+	const (
+		maxIter = 300
+		eps     = 3e-16
+		fpmin   = 1e-300
+	)
+	qab, qap, qam := a+b, a+1, a-1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < fpmin {
+		d = fpmin
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		mf := float64(m)
+		m2 := 2 * mf
+		aa := mf * (b - mf) * x / ((qam + m2) * (a + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + mf) * (qab + mf) * x / ((a + m2) * (qap + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
+}
+
+// ZForConfidence returns the two-sided standard-normal quantile for the
+// given confidence level (e.g. ~1.96 for 0.95). Levels outside (0, 1) fall
+// back to 0.95.
+func ZForConfidence(level float64) float64 { return zForConfidence(level) }

@@ -1,0 +1,133 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// TestClopperPearsonCI pins the exact interval against externally computed
+// reference values (R binom.test / scipy.stats.beta.ppf), including the 0/N
+// and N/N edge cases where a normal-approximation interval degenerates to a
+// point.
+func TestClopperPearsonCI(t *testing.T) {
+	cases := []struct {
+		name      string
+		successes int
+		trials    int
+		level     float64
+		lo, hi    float64
+	}{
+		// Zero successes: Lo = 0, Hi = 1 - (alpha/2)^(1/n).
+		{"0of10", 0, 10, 0.95, 0, 0.30850},
+		{"0of100", 0, 100, 0.95, 0, 0.03622},
+		{"0of1000", 0, 1000, 0.95, 0, 0.0036821},
+		// All successes: Hi = 1, Lo = (alpha/2)^(1/n).
+		{"10of10", 10, 10, 0.95, 0.69150, 1},
+		{"100of100", 100, 100, 0.95, 0.96378, 1},
+		// Interior values.
+		{"1of10", 1, 10, 0.95, 0.0025286, 0.44502},
+		{"5of10", 5, 10, 0.95, 0.18709, 0.81291},
+		{"1of1000", 1, 1000, 0.95, 0.0000253, 0.0055589},
+		// Different level.
+		{"0of50at99", 0, 50, 0.99, 0, 0.10057},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			iv := ClopperPearsonCI(c.successes, c.trials, c.level)
+			if math.Abs(iv.Lo-c.lo) > 1e-4 || math.Abs(iv.Hi-c.hi) > 1e-4 {
+				t.Errorf("ClopperPearsonCI(%d, %d, %v) = [%.6f, %.6f], want [%.6f, %.6f]",
+					c.successes, c.trials, c.level, iv.Lo, iv.Hi, c.lo, c.hi)
+			}
+			p := float64(c.successes) / float64(c.trials)
+			if !iv.Contains(p) {
+				t.Errorf("interval [%v, %v] does not contain point estimate %v", iv.Lo, iv.Hi, p)
+			}
+		})
+	}
+}
+
+// TestZeroSuccessIntervalsNotDegenerate holds both binomial intervals to the
+// rare-event contract: an observed-zero (or observed-all) stream must still
+// report a nonempty uncertainty band, never the [0, 0] of the naive normal
+// approximation.
+func TestZeroSuccessIntervalsNotDegenerate(t *testing.T) {
+	for _, n := range []int{1, 10, 100, 10000} {
+		for _, ci := range []struct {
+			name string
+			f    func(s, n int, level float64) Interval
+		}{
+			{"ClopperPearson", ClopperPearsonCI},
+			{"Wilson", WilsonCI},
+		} {
+			// Wilson's closed form leaves a ~1e-20 rounding residue at the
+			// edges; exactness is only promised by Clopper–Pearson.
+			zero := ci.f(0, n, 0.95)
+			if zero.Lo > 1e-12 || zero.Hi <= 0 {
+				t.Errorf("%s(0, %d) = [%v, %v]: want Lo ~ 0 and Hi > 0", ci.name, n, zero.Lo, zero.Hi)
+			}
+			full := ci.f(n, n, 0.95)
+			if full.Hi < 1-1e-12 || full.Lo >= 1 {
+				t.Errorf("%s(%d, %d) = [%v, %v]: want Hi ~ 1 and Lo < 1", ci.name, n, n, full.Lo, full.Hi)
+			}
+			if full.Lo <= 0 && n > 1 {
+				t.Errorf("%s(%d, %d).Lo = %v: want > 0", ci.name, n, n, full.Lo)
+			}
+		}
+	}
+	// More trials with zero successes must tighten the upper bound.
+	prev := 1.0
+	for _, n := range []int{10, 100, 1000, 10000} {
+		hi := ClopperPearsonCI(0, n, 0.95).Hi
+		if hi >= prev {
+			t.Errorf("ClopperPearsonCI(0, %d).Hi = %v did not shrink below %v", n, hi, prev)
+		}
+		prev = hi
+	}
+}
+
+// TestClopperPearsonDegenerateInputs covers the guard paths.
+func TestClopperPearsonDegenerateInputs(t *testing.T) {
+	if iv := ClopperPearsonCI(0, 0, 0.95); iv != (Interval{Lo: 0, Hi: 1}) {
+		t.Errorf("zero trials: got [%v, %v], want [0, 1]", iv.Lo, iv.Hi)
+	}
+	if iv := ClopperPearsonCI(-3, 10, 0.95); iv != ClopperPearsonCI(0, 10, 0.95) {
+		t.Errorf("negative successes not clamped: [%v, %v]", iv.Lo, iv.Hi)
+	}
+	if iv := ClopperPearsonCI(12, 10, 0.95); iv != ClopperPearsonCI(10, 10, 0.95) {
+		t.Errorf("overflowing successes not clamped: [%v, %v]", iv.Lo, iv.Hi)
+	}
+	// Out-of-range level falls back to 0.95, matching WilsonCI's contract.
+	if iv := ClopperPearsonCI(3, 10, 0); iv != ClopperPearsonCI(3, 10, 0.95) {
+		t.Errorf("level fallback mismatch: [%v, %v]", iv.Lo, iv.Hi)
+	}
+}
+
+// TestRegIncBeta pins the regularized incomplete beta function against
+// closed forms: I_x(1, b) = 1-(1-x)^b and I_x(a, 1) = x^a, plus symmetry.
+func TestRegIncBeta(t *testing.T) {
+	for _, x := range []float64{0.01, 0.25, 0.5, 0.75, 0.99} {
+		for _, b := range []float64{1, 2.5, 10, 40} {
+			got := RegIncBeta(1, b, x)
+			want := 1 - math.Pow(1-x, b)
+			if math.Abs(got-want) > 1e-12 {
+				t.Errorf("I_%v(1, %v) = %v, want %v", x, b, got, want)
+			}
+			got = RegIncBeta(b, 1, x)
+			want = math.Pow(x, b)
+			if math.Abs(got-want) > 1e-12 {
+				t.Errorf("I_%v(%v, 1) = %v, want %v", x, b, got, want)
+			}
+		}
+		// I_x(a, b) + I_{1-x}(b, a) = 1.
+		sum := RegIncBeta(3, 7, x) + RegIncBeta(7, 3, 1-x)
+		if math.Abs(sum-1) > 1e-12 {
+			t.Errorf("symmetry violated at x=%v: sum %v", x, sum)
+		}
+	}
+	if got := RegIncBeta(2, 3, 0); got != 0 {
+		t.Errorf("I_0 = %v, want 0", got)
+	}
+	if got := RegIncBeta(2, 3, 1); got != 1 {
+		t.Errorf("I_1 = %v, want 1", got)
+	}
+}

@@ -64,11 +64,13 @@ run_bench -run '^$' -bench '^BenchmarkTableLookupHot$' \
   -benchtime "$LOOKUP_BENCHTIME" -benchmem .
 
 # The Monte-Carlo episode engine: steady-state per-episode cost for the
-# pairwise engine, the two-intruder engine and the degraded-surveillance
-# path (b.N is the episode count, so allocs/op must stay ~0 — CI gates on
-# all three) and worker-count wall-clock scaling (512-episode estimates
-# per op).
-run_bench -run '^$' -bench '^BenchmarkEvaluate(MultiIntruder|Faulted)?SteadyState$' \
+# pairwise engine, the two-intruder engine, the degraded-surveillance
+# path and the importance-sampling rare-event estimator (b.N is the
+# episode count, so allocs/op must stay ~0 — CI gates on all four) and
+# worker-count wall-clock scaling (512-episode estimates per op). The
+# rare-event benchmark also reports the measured variance-reduction
+# factor (VRF) as a custom metric, captured into the snapshot.
+run_bench -run '^$' -bench '^Benchmark(Evaluate(MultiIntruder|Faulted)?|RareEvent)SteadyState$' \
   -benchtime "$EPISODE_BENCHTIME" -benchmem ./internal/montecarlo
 run_bench -run '^$' -bench '^BenchmarkEvaluateParallel$' \
   -benchtime "$PARALLEL_BENCHTIME" -benchmem ./internal/montecarlo
