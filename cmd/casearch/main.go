@@ -41,10 +41,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
+	"syscall"
 
 	"acasxval/internal/acasx"
 	"acasxval/internal/campaign"
@@ -468,8 +471,14 @@ func runIslands(a islandArgs) error {
 		fmt.Printf("degraded surveillance on every evaluation (severity %.2f)\n", spec.Fitness.Run.Faults.Severity())
 	}
 
+	// SIGINT/SIGTERM interrupt the search at the next evaluation boundary;
+	// the partial result below still reports the best-so-far, flushes the
+	// archive, and points at the checkpoint to resume from.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	lastGen := -1
-	res, err := search.Run(spec, sysFactory, search.Options{
+	res, err := search.RunContext(ctx, spec, sysFactory, search.Options{
 		CheckpointPath: a.checkpoint,
 		Resume:         a.resume,
 		EpisodeWorkers: a.epWorkers,
@@ -483,6 +492,19 @@ func runIslands(a islandArgs) error {
 		},
 	})
 	if err != nil {
+		if res == nil {
+			return err
+		}
+		fmt.Printf("\ninterrupted after %d generations (%d evaluations); best fitness so far %.1f\n",
+			res.GenerationsRun, res.NumEvaluations, res.Best.Fitness)
+		if a.checkpoint != "" {
+			fmt.Printf("resume with -resume -checkpoint %s\n", a.checkpoint)
+		}
+		if a.archiveOut != "" {
+			if aerr := writeArchiveOut(a.archiveOut, res, spec.ArchiveThreshold); aerr != nil {
+				return aerr
+			}
+		}
 		return err
 	}
 
@@ -517,26 +539,36 @@ func runIslands(a islandArgs) error {
 	}
 
 	if a.archiveOut != "" {
-		if archived == 0 {
-			// sweep -extra rejects empty archives; don't leave one behind
-			// with an instruction to replay it.
-			fmt.Printf("danger archive is empty (no encounter reached fitness %.0f); not writing %s\n",
-				spec.ArchiveThreshold, a.archiveOut)
-			return nil
-		}
-		f, err := os.Create(a.archiveOut)
-		if err != nil {
+		if err := writeArchiveOut(a.archiveOut, res, spec.ArchiveThreshold); err != nil {
 			return err
 		}
-		if err := res.Archive.WriteJSONL(f); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
-			return err
-		}
-		fmt.Printf("wrote danger archive to %s (replayable with sweep -extra)\n", a.archiveOut)
 	}
+	return nil
+}
+
+// writeArchiveOut flushes the danger archive as JSONL — after a complete
+// run or an interrupted one; partial archives are as replayable as full
+// ones.
+func writeArchiveOut(path string, res *search.Result, threshold float64) error {
+	if res.Archive.Len() == 0 {
+		// sweep -extra rejects empty archives; don't leave one behind
+		// with an instruction to replay it.
+		fmt.Printf("danger archive is empty (no encounter reached fitness %.0f); not writing %s\n",
+			threshold, path)
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := res.Archive.WriteJSONL(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote danger archive to %s (replayable with sweep -extra)\n", path)
 	return nil
 }
 

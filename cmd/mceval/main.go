@@ -24,11 +24,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"acasxval/internal/acasx"
 	"acasxval/internal/campaign"
@@ -86,10 +89,16 @@ func run() error {
 	names := strings.Split(*systems, ",")
 	estimates := make(map[string]*montecarlo.Estimate, len(names))
 
+	// SIGINT/SIGTERM cancel between episodes: the systems evaluated so
+	// far still report their tables below before the non-zero exit.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	// One scratch across all evaluated systems: the simulation worlds and
 	// outcome buffers re-wire per system instead of rebuilding.
 	var scratch montecarlo.Scratch
 	var table *acasx.Table
+	var interrupted error
 	for _, name := range names {
 		name = strings.TrimSpace(name)
 		if campaign.NeedsTable(name) && table == nil {
@@ -106,13 +115,17 @@ func run() error {
 		fmt.Printf("evaluating %s over %d sampled encounters...\n", name, cfg.Samples)
 		var est *montecarlo.Estimate
 		if *estimator != "" {
-			est, err = montecarlo.EstimateRareMultiWithScratch(
+			est, err = montecarlo.EstimateRareMultiWithScratchContext(ctx,
 				montecarlo.MultiEncounterModel{Intruders: []montecarlo.EncounterModel{model}},
 				factory, cfg, spec, &scratch)
 		} else {
-			est, err = montecarlo.EvaluateWithScratch(model, factory, cfg, &scratch)
+			est, err = montecarlo.EvaluateWithScratchContext(ctx, model, factory, cfg, &scratch)
 		}
 		if err != nil {
+			if ctx.Err() != nil {
+				interrupted = err
+				break
+			}
 			return err
 		}
 		estimates[name] = est
@@ -124,6 +137,9 @@ func run() error {
 		for _, name := range names {
 			name = strings.TrimSpace(name)
 			est := estimates[name]
+			if est == nil {
+				continue
+			}
 			fmt.Printf("%-8s %12.3e [%10.3e, %10.3e] %10.1f %8.1f\n",
 				name, est.PNMAC, est.PNMACCI.Lo, est.PNMACCI.Hi,
 				est.ESS, est.VarianceReduction)
@@ -134,6 +150,9 @@ func run() error {
 		for _, name := range names {
 			name = strings.TrimSpace(name)
 			est := estimates[name]
+			if est == nil {
+				continue
+			}
 			fmt.Printf("%-8s %10.4f [%8.4f, %8.4f] %10.2f %12.2f %12.1f m\n",
 				name, est.PNMAC, est.PNMACCI.Lo, est.PNMACCI.Hi,
 				est.MeanAlerts, est.AlertRate, est.MeanMinSeparation)
@@ -142,6 +161,11 @@ func run() error {
 
 	if *estimator == "" {
 		printRiskRatios(names, estimates)
+	}
+	if interrupted != nil {
+		fmt.Fprintf(os.Stderr, "interrupted: the tables above cover the %d of %d systems that completed\n",
+			len(estimates), len(names))
+		return interrupted
 	}
 	return nil
 }
@@ -188,7 +212,7 @@ func printRiskRatios(names []string, estimates map[string]*montecarlo.Estimate) 
 	if base, ok := estimates["none"]; ok {
 		for _, name := range names {
 			name = strings.TrimSpace(name)
-			if name == "none" {
+			if name == "none" || estimates[name] == nil {
 				continue
 			}
 			if ratio, err := montecarlo.RiskRatio(estimates[name], base); err == nil {

@@ -30,11 +30,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"acasxval/internal/campaign"
@@ -166,12 +169,26 @@ func run() (err error) {
 		jsonl = f
 	}
 
+	// SIGINT/SIGTERM cancel the campaign instead of killing it mid-write:
+	// the JSONL stream stops cleanly at a cell boundary and the summary
+	// below covers exactly the cells that finished.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	start := time.Now()
-	res, err := campaign.Run(spec, systems, jsonl)
+	res, err := campaign.RunContext(ctx, spec, systems, jsonl)
+	elapsed := time.Since(start)
 	if err != nil {
+		if res == nil {
+			return err
+		}
+		// Interrupted, not failed: the flushed JSONL holds exactly the
+		// completed cell prefix. Summarize it, then exit non-zero.
+		fmt.Printf("campaign %s interrupted: %d cells completed, %d simulations\n\n", res.Name, len(res.Cells), res.TotalRuns)
+		fmt.Print(res.SummaryTable())
+		fmt.Fprintf(os.Stderr, "\ninterrupted after %d simulations in %v\n", res.TotalRuns, elapsed.Round(time.Millisecond))
 		return err
 	}
-	elapsed := time.Since(start)
 
 	fmt.Printf("campaign %s: %d cells, %d simulations\n\n", res.Name, len(res.Cells), res.TotalRuns)
 	fmt.Print(res.SummaryTable())

@@ -93,21 +93,21 @@ func TestFaultAxisPairsCellsWithCleanRun(t *testing.T) {
 // historical order, and a declared axis groups each variant's fault
 // points contiguously.
 func TestFaultAxisCellOrder(t *testing.T) {
-	cells, err := faultSpec(t).cells()
+	cells, err := faultSpec(t).Cells()
 	if err != nil {
 		t.Fatal(err)
 	}
 	perVariant := len(cells) / 2 // two variants
 	for i, c := range cells {
-		if c.index != i {
-			t.Fatalf("cell %d has index %d", i, c.index)
+		if c.Index != i {
+			t.Fatalf("cell %d has index %d", i, c.Index)
 		}
 		wantFault := "none"
 		if (i%perVariant)/(perVariant/2) == 1 {
 			wantFault = "moderate"
 		}
-		if c.flt.Name != wantFault {
-			t.Errorf("cell %d: fault point %q, want %q", i, c.flt.Name, wantFault)
+		if c.Fault.Name != wantFault {
+			t.Errorf("cell %d: fault point %q, want %q", i, c.Fault.Name, wantFault)
 		}
 	}
 }

@@ -1,7 +1,9 @@
 package campaign
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"io"
@@ -165,24 +167,28 @@ type Result struct {
 	TotalRuns int
 }
 
-// cell is one unit of work before execution. An estimator cell (estimator
-// != "") carries no fixed params: it samples the spec's statistical model.
-type cell struct {
-	index     int
-	scenario  string
-	geometry  string
-	params    encounter.MultiParams
-	system    string
-	variant   Variant
-	flt       FaultPoint
-	estimator string
+// Cell is one unit of campaign work before execution: one point of the
+// expanded cross-product, ready to hand to RunCellContext. An estimator
+// cell (Estimator != "") carries no fixed params: it samples the spec's
+// statistical model. Cells are exposed so external schedulers (the
+// validation server's shard supervisor) can distribute exactly the units
+// Run distributes, with identical results.
+type Cell struct {
+	Index     int
+	Scenario  string
+	Geometry  string
+	Params    encounter.MultiParams
+	System    string
+	Variant   Variant
+	Fault     FaultPoint
+	Estimator string
 }
 
-// cells expands the spec's cross-product in deterministic order:
+// Cells expands the spec's cross-product in deterministic order:
 // variant-major, then fault point, then scenario, then system. The
 // default single fault point reproduces the historical cell order
 // exactly.
-func (s Spec) cells() ([]cell, error) {
+func (s Spec) Cells() ([]Cell, error) {
 	type scenario struct {
 		name     string
 		geometry string
@@ -208,19 +214,19 @@ func (s Spec) cells() ([]cell, error) {
 		m := model.Sample(stats.NewChildRNG(s.Seed^modelDrawSalt, i))
 		scenarios = append(scenarios, scenario{modelDrawName(i), encounter.ClassifyMulti(m).Category.String(), m})
 	}
-	var cells []cell
+	var cells []Cell
 	for _, v := range s.variantsOrDefault() {
 		for _, fp := range s.faultsOrDefault() {
 			for _, sc := range scenarios {
 				for _, sys := range s.Systems {
-					cells = append(cells, cell{
-						index:    len(cells),
-						scenario: sc.name,
-						geometry: sc.geometry,
-						params:   sc.params,
-						system:   sys,
-						variant:  v,
-						flt:      fp,
+					cells = append(cells, Cell{
+						Index:    len(cells),
+						Scenario: sc.name,
+						Geometry: sc.geometry,
+						Params:   sc.params,
+						System:   sys,
+						Variant:  v,
+						Fault:    fp,
 					})
 				}
 			}
@@ -233,14 +239,14 @@ func (s Spec) cells() ([]cell, error) {
 		for _, fp := range s.faultsOrDefault() {
 			for _, est := range s.Estimators {
 				for _, sys := range s.Systems {
-					cells = append(cells, cell{
-						index:     len(cells),
-						scenario:  estimatorScenario,
-						geometry:  estimatorScenario,
-						system:    sys,
-						variant:   v,
-						flt:       fp,
-						estimator: est,
+					cells = append(cells, Cell{
+						Index:     len(cells),
+						Scenario:  estimatorScenario,
+						Geometry:  estimatorScenario,
+						System:    sys,
+						Variant:   v,
+						Fault:     fp,
+						Estimator: est,
 					})
 				}
 			}
@@ -255,6 +261,16 @@ func (s Spec) cells() ([]cell, error) {
 // aggregate summaries rank systems by risk ratio. The result — including
 // the JSONL byte stream — is identical for identical (spec, systems).
 func Run(spec Spec, systems SystemSet, jsonl io.Writer) (*Result, error) {
+	return RunContext(context.Background(), spec, systems, jsonl)
+}
+
+// RunContext is Run under a cancellation context. A cancelled ctx stops
+// the cell pool promptly without corrupting the stream: the JSONL writer
+// never emits a partial line, and the call returns the partial result —
+// exactly the completed prefix of the deterministic cell order, matching
+// the bytes already flushed — alongside ctx.Err(). Callers distinguish
+// interruption (non-nil result and error) from failure (nil result).
+func RunContext(ctx context.Context, spec Spec, systems SystemSet, jsonl io.Writer) (*Result, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -263,7 +279,7 @@ func Run(spec Spec, systems SystemSet, jsonl io.Writer) (*Result, error) {
 			return nil, fmt.Errorf("campaign: system %q not available (have %v)", name, systems.Names())
 		}
 	}
-	cells, err := spec.cells()
+	cells, err := spec.Cells()
 	if err != nil {
 		return nil, err
 	}
@@ -311,43 +327,15 @@ func Run(spec Spec, systems SystemSet, jsonl io.Writer) (*Result, error) {
 			var scratch montecarlo.Scratch
 			for i := range idxCh {
 				c := cells[i]
-				est, err := runCell(spec, c, systems[c.system], cellEpisodeWorkers(i), &scratch)
-				if err != nil {
-					errs[i] = err
-				} else {
-					results[i] = CellResult{
-						Index:      c.index,
-						Campaign:   spec.Name,
-						Scenario:   c.scenario,
-						Geometry:   c.geometry,
-						System:     c.system,
-						Variant:    c.variant.Name,
-						Fault:      c.flt.label(),
-						Estimator:  c.estimator,
-						Samples:    est.Samples,
-						NMACs:      est.NMACs,
-						PNMAC:      est.PNMAC,
-						PNMACLo:    est.PNMACCI.Lo,
-						PNMACHi:    est.PNMACCI.Hi,
-						AlertRate:  est.AlertRate,
-						MeanAlerts: est.MeanAlerts,
-						MeanMinSep: est.MeanMinSeparation,
-					}
-					if c.estimator == "" {
-						results[i].Params = c.params.Vector()
-					} else {
-						// ESS and VRF only mean something against an
-						// estimator; classic cells stay byte-identical.
-						results[i].ESS = est.ESS
-						results[i].VarianceReduction = est.VarianceReduction
-					}
-				}
+				results[i], errs[i] = RunCellContext(ctx, spec, c, systems[c.System], cellEpisodeWorkers(i), &scratch)
 				doneCh <- i
 			}
 		}()
 	}
 	// abort stops the feeder after the first error so a failing campaign
-	// does not run its whole remaining cross-product before reporting.
+	// does not run its whole remaining cross-product before reporting; a
+	// cancelled ctx stops it the same way (the in-flight cells additionally
+	// abort between episodes).
 	abort := make(chan struct{})
 	go func() {
 	feed:
@@ -355,6 +343,8 @@ func Run(spec Spec, systems SystemSet, jsonl io.Writer) (*Result, error) {
 			select {
 			case idxCh <- i:
 			case <-abort:
+				break feed
+			case <-ctx.Done():
 				break feed
 			}
 		}
@@ -365,10 +355,14 @@ func Run(spec Spec, systems SystemSet, jsonl io.Writer) (*Result, error) {
 
 	ready := make(map[int]bool, len(cells))
 	next := 0
+	// prefix is the completed in-order cell prefix at the moment of the
+	// first error: exactly the cells whose JSONL lines were flushed.
+	prefix := 0
 	var firstErr error
 	fail := func(err error) {
 		if firstErr == nil {
 			firstErr = err
+			prefix = next
 			close(abort)
 		}
 	}
@@ -392,18 +386,70 @@ func Run(spec Spec, systems SystemSet, jsonl io.Writer) (*Result, error) {
 		}
 	}
 	if firstErr != nil {
+		if errors.Is(firstErr, context.Canceled) || errors.Is(firstErr, context.DeadlineExceeded) {
+			// Interrupted, not broken: report the completed prefix so the
+			// caller can summarize the work that did finish.
+			return NewResult(spec, results[:prefix]), firstErr
+		}
 		return nil, firstErr
 	}
+	return NewResult(spec, results), nil
+}
 
-	res := &Result{Name: spec.Name, Cells: results}
-	for _, c := range results {
-		res.TotalRuns += c.Samples
+// RunCellContext executes one expanded campaign cell and assembles its
+// CellResult — the exact record Run streams for that cell, byte for byte
+// once marshaled. It is the shared execution path of the in-process pool
+// and the validation server's shard supervisor: a cell re-run after a
+// crash, timeout or retry reproduces the identical record, because the
+// cell's whole stochastic draw derives from (spec.Seed, cell identity).
+func RunCellContext(ctx context.Context, spec Spec, c Cell, factory montecarlo.SystemFactory, episodeWorkers int, scratch *montecarlo.Scratch) (CellResult, error) {
+	est, err := runCell(ctx, spec, c, factory, episodeWorkers, scratch)
+	if err != nil {
+		return CellResult{}, err
 	}
-	res.Summaries = summarize(spec, results)
+	res := CellResult{
+		Index:      c.Index,
+		Campaign:   spec.Name,
+		Scenario:   c.Scenario,
+		Geometry:   c.Geometry,
+		System:     c.System,
+		Variant:    c.Variant.Name,
+		Fault:      c.Fault.label(),
+		Estimator:  c.Estimator,
+		Samples:    est.Samples,
+		NMACs:      est.NMACs,
+		PNMAC:      est.PNMAC,
+		PNMACLo:    est.PNMACCI.Lo,
+		PNMACHi:    est.PNMACCI.Hi,
+		AlertRate:  est.AlertRate,
+		MeanAlerts: est.MeanAlerts,
+		MeanMinSep: est.MeanMinSeparation,
+	}
+	if c.Estimator == "" {
+		res.Params = c.Params.Vector()
+	} else {
+		// ESS and VRF only mean something against an estimator; classic
+		// cells stay byte-identical.
+		res.ESS = est.ESS
+		res.VarianceReduction = est.VarianceReduction
+	}
 	return res, nil
 }
 
-// cellSeed derives a cell's Monte-Carlo seed from its stable identity
+// NewResult assembles a Result from completed cell records: the cells in
+// stream order, the pooled run count, and the ranked summaries. Run uses
+// it for both complete and interrupted campaigns; the validation server
+// uses it to rebuild a byte-identical result from journaled cells.
+func NewResult(spec Spec, cells []CellResult) *Result {
+	res := &Result{Name: spec.Name, Cells: cells}
+	for _, c := range cells {
+		res.TotalRuns += c.Samples
+	}
+	res.Summaries = summarize(spec, cells)
+	return res
+}
+
+// CellSeed derives a cell's Monte-Carlo seed from its stable identity
 // (scenario, system, variant names) rather than its ordinal index, so
 // growing one axis — most importantly appending reloaded danger-archive
 // scenarios — cannot shift the stochastic draws of every pre-existing
@@ -412,13 +458,14 @@ func Run(spec Spec, systems SystemSet, jsonl io.Writer) (*Result, error) {
 // from. The fault point is deliberately absent from the identity: every
 // severity level replays the same episode seeds as its clean sibling, so
 // differences along the fault axis are paired — pure degradation effect,
-// not sampling noise.
-func cellSeed(seed uint64, c cell) uint64 {
+// not sampling noise. Exported because the validation server keys its
+// completed-cell cache by (cell identity hash, cell seed).
+func CellSeed(seed uint64, c Cell) uint64 {
 	h := fnv.New64a()
 	// Length-prefix each component: names are arbitrary strings, so a
 	// plain separator could make distinct identities hash alike.
 	fmt.Fprintf(h, "%d:%s|%d:%s|%d:%s",
-		len(c.scenario), c.scenario, len(c.system), c.system, len(c.variant.Name), c.variant.Name)
+		len(c.Scenario), c.Scenario, len(c.System), c.System, len(c.Variant.Name), c.Variant.Name)
 	return stats.DeriveSeed(seed^h.Sum64(), 0)
 }
 
@@ -427,26 +474,26 @@ func cellSeed(seed uint64, c cell) uint64 {
 // owning worker's reusable world set; episodeWorkers is the per-cell
 // episode parallelism (1 when the cell pool already saturates the CPUs,
 // more when a small grid leaves cores idle).
-func runCell(spec Spec, c cell, factory montecarlo.SystemFactory, episodeWorkers int, scratch *montecarlo.Scratch) (*montecarlo.Estimate, error) {
+func runCell(ctx context.Context, spec Spec, c Cell, factory montecarlo.SystemFactory, episodeWorkers int, scratch *montecarlo.Scratch) (*montecarlo.Estimate, error) {
 	cfg := montecarlo.Config{
-		Samples:     c.variant.samples(spec.Samples),
-		Run:         c.variant.apply(spec.Run),
-		Seed:        cellSeed(spec.Seed, c),
+		Samples:     c.Variant.samples(spec.Samples),
+		Run:         c.Variant.apply(spec.Run),
+		Seed:        CellSeed(spec.Seed, c),
 		Parallelism: episodeWorkers,
 	}
 	// The fault axis replaces whatever profile the base configuration
 	// carried: each point IS the cell's degradation condition.
-	cfg.Run.Faults = c.flt.Profile
-	if c.estimator != "" {
+	cfg.Run.Faults = c.Fault.Profile
+	if c.Estimator != "" {
 		// Estimator cells estimate under the statistical model. The seed
 		// identity omits the method (like it omits the fault point), so
 		// every estimator — and brute force — draws comparable randomness
 		// for the same (system, variant).
 		es := spec.EstimatorSpec
-		es.Method = c.estimator
-		return montecarlo.EstimateRareMultiWithScratch(spec.multiModel(), factory, cfg, es, scratch)
+		es.Method = c.Estimator
+		return montecarlo.EstimateRareMultiWithScratchContext(ctx, spec.multiModel(), factory, cfg, es, scratch)
 	}
-	return montecarlo.EvaluateMultiWithScratch(montecarlo.MultiPointModel(c.params), factory, cfg, scratch)
+	return montecarlo.EvaluateMultiWithScratchContext(ctx, montecarlo.MultiPointModel(c.Params), factory, cfg, scratch)
 }
 
 // summarize pools cells into per-(system, variant, fault) aggregates and

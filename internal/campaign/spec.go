@@ -252,6 +252,29 @@ func (s Spec) multiModel() montecarlo.MultiEncounterModel {
 	return m
 }
 
+// Canonical returns the spec in semantic normal form: every implicit
+// default made explicit and every scheduling-only field cleared, so two
+// specs that describe the same campaign compare — and hash — equal. The
+// normalizations mirror the defaults the run path applies: the implicit
+// "default" variant, the implicit fault point, the default encounter
+// model, the pairwise intruder count, and the estimator tuning of a spec
+// with no estimator axis (which never executes and must not perturb the
+// identity). Parallelism is dropped because estimates are worker-count
+// invariant — resubmitting a campaign with a different worker budget must
+// hit the completed-cell cache, not recompute.
+func (s Spec) Canonical() Spec {
+	s.Variants = append([]Variant(nil), s.variantsOrDefault()...)
+	s.Faults = append([]FaultPoint(nil), s.faultsOrDefault()...)
+	m := s.model()
+	s.Model = &m
+	s.Intruders = s.intrudersOrDefault()
+	if len(s.Estimators) == 0 {
+		s.EstimatorSpec = montecarlo.RareEventSpec{}
+	}
+	s.Parallelism = 0
+	return s
+}
+
 // Validate checks the campaign declaration without running it.
 func (s Spec) Validate() error {
 	if s.Name == "" {

@@ -1,0 +1,147 @@
+package durable
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteFileAtomicReplacesAndRoundTrips(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.json")
+	if err := WriteFileAtomic(path, []byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFileAtomic(path, []byte("second")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "second" {
+		t.Fatalf("content = %q, want %q", got, "second")
+	}
+	// No temp litter.
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("directory holds %d entries, want 1 (temp files must be cleaned up)", len(entries))
+	}
+}
+
+func TestAppendWriterRejectsEmbeddedNewline(t *testing.T) {
+	w, err := OpenAppend(filepath.Join(t.TempDir(), "log.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := w.AppendLine([]byte("a\nb")); err == nil {
+		t.Fatal("embedded newline accepted; it would forge a record boundary")
+	}
+}
+
+func TestAppendAndScanRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "log.jsonl")
+	w, err := OpenAppend(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{`{"i":0}`, `{"i":1}`, `{"i":2}`}
+	for _, rec := range want {
+		if err := w.AppendLine([]byte(rec)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var got []string
+	truncated, err := ScanJSONL(f, func(line int, data []byte) error {
+		got = append(got, string(data))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if truncated {
+		t.Fatal("clean log reported truncated")
+	}
+	if len(got) != len(want) {
+		t.Fatalf("scanned %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+// TestScanJSONLCrashTail simulates a writer killed mid-record: the log ends
+// in a half-written JSON fragment. The scan must keep every complete record,
+// skip the fragment, and report the truncation — not fail the whole load.
+func TestScanJSONLCrashTail(t *testing.T) {
+	log := `{"i":0}` + "\n" + `{"i":1}` + "\n" + `{"i":2,"name":"tru`
+	var got []int
+	truncated, err := ScanJSONL(strings.NewReader(log), func(line int, data []byte) error {
+		var rec struct {
+			I int `json:"i"`
+		}
+		if err := json.Unmarshal(data, &rec); err != nil {
+			return fmt.Errorf("line %d: %w", line, err)
+		}
+		got = append(got, rec.I)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("crash tail failed the load: %v", err)
+	}
+	if !truncated {
+		t.Fatal("crash tail not reported")
+	}
+	if len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Fatalf("kept records %v, want [0 1]", got)
+	}
+}
+
+// A corrupt line in the interior — newline-terminated, so fully written —
+// must stay fatal: it is data corruption, not a crash artifact.
+func TestScanJSONLInteriorCorruptionIsFatal(t *testing.T) {
+	log := `{"i":0}` + "\n" + `{"i":1,garbage` + "\n" + `{"i":2}` + "\n"
+	_, err := ScanJSONL(strings.NewReader(log), func(line int, data []byte) error {
+		var rec struct{}
+		return json.Unmarshal(data, &rec)
+	})
+	if err == nil {
+		t.Fatal("interior corruption silently skipped")
+	}
+}
+
+// A final line without a trailing newline that decodes cleanly is a valid
+// record (hand-edited files), not a crash tail.
+func TestScanJSONLKeepsValidUnterminatedTail(t *testing.T) {
+	log := `{"i":0}` + "\n" + `{"i":1}`
+	count := 0
+	truncated, err := ScanJSONL(strings.NewReader(log), func(line int, data []byte) error {
+		count++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if truncated {
+		t.Fatal("valid unterminated tail reported as truncated")
+	}
+	if count != 2 {
+		t.Fatalf("scanned %d records, want 2", count)
+	}
+}

@@ -1,6 +1,7 @@
 package montecarlo
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -224,12 +225,23 @@ func Evaluate(model EncounterModel, factory SystemFactory, cfg Config) (*Estimat
 	return EvaluateWithScratch(model, factory, cfg, nil)
 }
 
+// EvaluateContext is Evaluate under a cancellation context (see
+// EvaluateMultiWithScratchContext for the cancellation contract).
+func EvaluateContext(ctx context.Context, model EncounterModel, factory SystemFactory, cfg Config) (*Estimate, error) {
+	return EvaluateWithScratchContext(ctx, model, factory, cfg, nil)
+}
+
 // EvaluateMulti estimates event probabilities against a multi-intruder
 // encounter model: every episode samples one ownship + K intruders and
 // simulates all pairwise conflicts in one closed-loop world. Determinism
 // and worker-count invariance match Evaluate's.
 func EvaluateMulti(model MultiEncounterModel, factory SystemFactory, cfg Config) (*Estimate, error) {
 	return EvaluateMultiWithScratch(model, factory, cfg, nil)
+}
+
+// EvaluateMultiContext is EvaluateMulti under a cancellation context.
+func EvaluateMultiContext(ctx context.Context, model MultiEncounterModel, factory SystemFactory, cfg Config) (*Estimate, error) {
+	return EvaluateMultiWithScratchContext(ctx, model, factory, cfg, nil)
 }
 
 // episodeBatch is how many consecutive episodes a worker claims per
@@ -248,6 +260,12 @@ const episodeBatch = 8
 // exact classic stream.
 func EvaluateWithScratch(model EncounterModel, factory SystemFactory, cfg Config, scratch *Scratch) (*Estimate, error) {
 	return EvaluateMultiWithScratch(MultiEncounterModel{Intruders: []EncounterModel{model}}, factory, cfg, scratch)
+}
+
+// EvaluateWithScratchContext is EvaluateWithScratch under a cancellation
+// context.
+func EvaluateWithScratchContext(ctx context.Context, model EncounterModel, factory SystemFactory, cfg Config, scratch *Scratch) (*Estimate, error) {
+	return EvaluateMultiWithScratchContext(ctx, MultiEncounterModel{Intruders: []EncounterModel{model}}, factory, cfg, scratch)
 }
 
 // prepareWorlds wires one reusable simulation world per effective worker
@@ -283,10 +301,19 @@ func prepareWorlds(scratch *Scratch, cfg *Config, factory SystemFactory, intrude
 // of worlds. A single world runs the serial fast path: no goroutines or
 // counter traffic — the campaign pool pins saturated sweeps' cells to one
 // worker each, so this is their steady state.
-func runEpisodes(worlds []*world, n int, run func(w *world, i int)) {
+//
+// A cancelled ctx stops the loops between episodes, leaving the rest of
+// the outcome buffer untouched; callers must check ctx.Err() before
+// pooling, since a partially-filled buffer would pool zeros. The
+// per-episode ctx.Err() call is allocation-free on both the background
+// context and cancel contexts, so the zero-alloc steady state holds.
+func runEpisodes(ctx context.Context, worlds []*world, n int, run func(w *world, i int)) {
 	if len(worlds) <= 1 {
 		w := worlds[0]
 		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				return
+			}
 			run(w, i)
 		}
 		return
@@ -301,6 +328,9 @@ func runEpisodes(worlds []*world, n int, run func(w *world, i int)) {
 		go func(w *world) {
 			defer wg.Done()
 			for {
+				if ctx.Err() != nil {
+					return
+				}
 				start := int(next.Add(episodeBatch)) - episodeBatch
 				if start >= n {
 					return
@@ -310,6 +340,9 @@ func runEpisodes(worlds []*world, n int, run func(w *world, i int)) {
 					end = n
 				}
 				for i := start; i < end; i++ {
+					if ctx.Err() != nil {
+						return
+					}
 					run(w, i)
 				}
 			}
@@ -322,6 +355,15 @@ func runEpisodes(worlds []*world, n int, run func(w *world, i int)) {
 // (see EvaluateWithScratch); at a steady intruder count the per-episode
 // steady state allocates nothing.
 func EvaluateMultiWithScratch(model MultiEncounterModel, factory SystemFactory, cfg Config, scratch *Scratch) (*Estimate, error) {
+	return EvaluateMultiWithScratchContext(context.Background(), model, factory, cfg, scratch)
+}
+
+// EvaluateMultiWithScratchContext is EvaluateMultiWithScratch under a
+// cancellation context: a cancelled ctx stops the episode loop between
+// episodes and returns ctx.Err() with no estimate. Cancellation never
+// corrupts state — episodes are idempotent functions of (cfg.Seed, index),
+// so re-running the same evaluation later reproduces the identical result.
+func EvaluateMultiWithScratchContext(ctx context.Context, model MultiEncounterModel, factory SystemFactory, cfg Config, scratch *Scratch) (*Estimate, error) {
 	if err := model.Validate(); err != nil {
 		return nil, err
 	}
@@ -346,9 +388,14 @@ func EvaluateMultiWithScratch(model MultiEncounterModel, factory SystemFactory, 
 	if err != nil {
 		return nil, err
 	}
-	runEpisodes(worlds, cfg.Samples, func(w *world, i int) {
+	runEpisodes(ctx, worlds, cfg.Samples, func(w *world, i int) {
 		w.simulate(&model, &cfg, i, outcomes)
 	})
+	// A cancelled run left part of the outcome buffer untouched; pooling
+	// it would silently average in zeros.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	est := &Estimate{Samples: cfg.Samples}
 	var sep, alerts, invSep stats.Accumulator

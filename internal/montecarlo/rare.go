@@ -1,6 +1,7 @@
 package montecarlo
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand/v2"
@@ -180,16 +181,23 @@ func EstimateRareMulti(model MultiEncounterModel, factory SystemFactory, cfg Con
 // reuse (see EvaluateWithScratch). Like Evaluate, the result is
 // deterministic for a given seed and bit-identical for any worker count.
 func EstimateRareMultiWithScratch(model MultiEncounterModel, factory SystemFactory, cfg Config, spec RareEventSpec, scratch *Scratch) (*Estimate, error) {
+	return EstimateRareMultiWithScratchContext(context.Background(), model, factory, cfg, spec, scratch)
+}
+
+// EstimateRareMultiWithScratchContext is EstimateRareMultiWithScratch under
+// a cancellation context: a cancelled ctx stops the episode loops (and, for
+// splitting, the stage ladder) and returns ctx.Err() with no estimate.
+func EstimateRareMultiWithScratchContext(ctx context.Context, model MultiEncounterModel, factory SystemFactory, cfg Config, spec RareEventSpec, scratch *Scratch) (*Estimate, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
 	switch spec.Method {
 	case "", MethodBruteForce:
-		return EvaluateMultiWithScratch(model, factory, cfg, scratch)
+		return EvaluateMultiWithScratchContext(ctx, model, factory, cfg, scratch)
 	case MethodIS, MethodSNIS:
-		return estimateIS(model, factory, cfg, spec.withDefaults(), scratch)
+		return estimateIS(ctx, model, factory, cfg, spec.withDefaults(), scratch)
 	case MethodSplit:
-		return estimateSplit(model, factory, cfg, spec.withDefaults(), scratch)
+		return estimateSplit(ctx, model, factory, cfg, spec.withDefaults(), scratch)
 	}
 	return nil, fmt.Errorf("montecarlo: unknown estimator method %q", spec.Method)
 }
@@ -362,7 +370,7 @@ func (q *proposal) logWeight(raw []float64) float64 {
 
 // estimateIS runs the importance-sampling estimator (plain or
 // self-normalized).
-func estimateIS(model MultiEncounterModel, factory SystemFactory, cfg Config, spec RareEventSpec, scratch *Scratch) (*Estimate, error) {
+func estimateIS(ctx context.Context, model MultiEncounterModel, factory SystemFactory, cfg Config, spec RareEventSpec, scratch *Scratch) (*Estimate, error) {
 	if err := model.Validate(); err != nil {
 		return nil, err
 	}
@@ -389,7 +397,7 @@ func estimateIS(model MultiEncounterModel, factory SystemFactory, cfg Config, sp
 	if err != nil {
 		return nil, err
 	}
-	runEpisodes(worlds, cfg.Samples, func(w *world, i int) {
+	runEpisodes(ctx, worlds, cfg.Samples, func(w *world, i int) {
 		rng := w.rng.SeedChild(cfg.Seed, i)
 		m := q.sampleInto(rng, &w.buf, w.raw, w.params)
 		lw := q.logWeight(w.raw)
@@ -406,6 +414,9 @@ func estimateIS(model MultiEncounterModel, factory SystemFactory, cfg Config, sp
 			logw:    lw,
 		}
 	})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	n := float64(cfg.Samples)
 	est := &Estimate{Samples: cfg.Samples}
@@ -536,7 +547,7 @@ type chainState struct {
 }
 
 // estimateSplit runs fixed-level multi-level splitting (subset simulation).
-func estimateSplit(model MultiEncounterModel, factory SystemFactory, cfg Config, spec RareEventSpec, scratch *Scratch) (*Estimate, error) {
+func estimateSplit(ctx context.Context, model MultiEncounterModel, factory SystemFactory, cfg Config, spec RareEventSpec, scratch *Scratch) (*Estimate, error) {
 	if err := model.Validate(); err != nil {
 		return nil, err
 	}
@@ -595,7 +606,7 @@ func estimateSplit(model MultiEncounterModel, factory SystemFactory, cfg Config,
 	// estimate's unconditional secondary metrics.
 	outcomes := scratch.grow(n)
 	stageSeed := stats.DeriveSeed(cfg.Seed^splitSalt, 0)
-	runEpisodes(worlds, n, func(w *world, i int) {
+	runEpisodes(ctx, worlds, n, func(w *world, i int) {
 		rng := w.rng.SeedChild(stageSeed, i)
 		raw := curRaw[i*dim : (i+1)*dim]
 		m := model.sampleRawInto(rng, &w.buf, raw, w.params)
@@ -612,6 +623,9 @@ func estimateSplit(model MultiEncounterModel, factory SystemFactory, cfg Config,
 		}
 		cur[i] = chainState{score: res.MinSeparation, logp: model.rawLogProb(raw), nmac: res.NMAC}
 	})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	est := &Estimate{}
 	var sep, alerts, invSep stats.Accumulator
@@ -649,7 +663,7 @@ func estimateSplit(model MultiEncounterModel, factory SystemFactory, cfg Config,
 			condition := spec.Levels[stage-1]
 			seeds := append([]int(nil), survivors...)
 			stageSeed := stats.DeriveSeed(cfg.Seed^splitSalt, stage)
-			runEpisodes(worlds, n, func(w *world, c int) {
+			runEpisodes(ctx, worlds, n, func(w *world, c int) {
 				src := seeds[c%len(seeds)]
 				st := cur[src]
 				copy(w.chain, curRaw[src*dim:(src+1)*dim])
@@ -687,6 +701,9 @@ func estimateSplit(model MultiEncounterModel, factory SystemFactory, cfg Config,
 				copy(nxtRaw[c*dim:(c+1)*dim], w.chain)
 				simCount.Add(int64(sims))
 			})
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			for _, err := range errs {
 				if err != nil {
 					return nil, err

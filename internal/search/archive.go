@@ -1,13 +1,13 @@
 package search
 
 import (
-	"bufio"
 	"encoding/json"
 	"fmt"
 	"io"
 	"os"
 
 	"acasxval/internal/campaign"
+	"acasxval/internal/durable"
 	"acasxval/internal/encounter"
 	"acasxval/internal/fault"
 	"acasxval/internal/ga"
@@ -185,22 +185,17 @@ func (a *Archive) WriteJSONL(w io.Writer) error {
 
 // readJSONL scans r line by line, handing every non-empty line (with its
 // 1-based line number) to decode. Shared by the archive and sweep-seed
-// loaders so buffer limits and error wording cannot drift.
+// loaders so tail handling and error wording cannot drift. A half-written
+// trailing line — the signature of a writer killed mid-record — is skipped
+// with a warning on stderr instead of failing the whole load; corrupt
+// interior lines stay fatal (see durable.ScanJSONL).
 func readJSONL(r io.Reader, what string, decode func(line int, data []byte) error) error {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
-	line := 0
-	for sc.Scan() {
-		line++
-		if len(sc.Bytes()) == 0 {
-			continue
-		}
-		if err := decode(line, sc.Bytes()); err != nil {
-			return err
-		}
+	truncated, err := durable.ScanJSONL(r, decode)
+	if err != nil {
+		return err
 	}
-	if err := sc.Err(); err != nil {
-		return fmt.Errorf("search: read %s: %w", what, err)
+	if truncated {
+		fmt.Fprintf(os.Stderr, "warning: %s ends in a half-written line (writer killed mid-record?); skipped\n", what)
 	}
 	return nil
 }

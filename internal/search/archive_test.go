@@ -159,6 +159,37 @@ func TestArchiveJSONLRoundTrip(t *testing.T) {
 	}
 }
 
+// TestLoadArchiveCrashTail simulates a writer killed mid-record: the JSONL
+// stream ends in a half-written line with no trailing newline. The complete
+// prefix must load; the torn tail is skipped, not treated as corruption.
+func TestLoadArchiveCrashTail(t *testing.T) {
+	a := NewArchive(1000, 0.05, testBounds(t))
+	a.Add(entryAt(t, 1500, 0))
+	far := entryAt(t, 3000, 0)
+	tail := encounter.PresetTailApproach()
+	far.Params = tail.Vector()
+	far.Geometry = encounter.Classify(tail).Category.String()
+	a.Add(far)
+
+	var buf bytes.Buffer
+	if err := a.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Chop the stream mid-way through the final record.
+	lines := bytes.SplitAfter(full, []byte("\n"))
+	last := lines[len(lines)-2] // SplitAfter leaves a trailing empty slice
+	torn := full[:len(full)-len(last)+len(last)/2]
+
+	loaded, err := LoadArchive(bytes.NewReader(torn))
+	if err != nil {
+		t.Fatalf("LoadArchive on crash-tail stream: %v", err)
+	}
+	if want := a.Entries()[:1]; !reflect.DeepEqual(loaded, want) {
+		t.Errorf("crash-tail load:\ngot  %+v\nwant %+v", loaded, want)
+	}
+}
+
 func TestLoadArchiveRejectsMalformed(t *testing.T) {
 	cases := map[string]string{
 		"not json":     "nope\n",

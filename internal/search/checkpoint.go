@@ -5,8 +5,8 @@ import (
 	"fmt"
 	"hash/fnv"
 	"os"
-	"path/filepath"
 
+	"acasxval/internal/durable"
 	"acasxval/internal/encounter"
 	"acasxval/internal/fault"
 	"acasxval/internal/ga"
@@ -215,30 +215,17 @@ func LoadCheckpointFile(path string) (*Checkpoint, error) {
 	return DecodeCheckpoint(data)
 }
 
-// SaveCheckpointFile writes a checkpoint atomically (temp file in the same
-// directory, then rename), so a run killed mid-write leaves the previous
-// checkpoint intact.
+// SaveCheckpointFile writes a checkpoint durably and atomically: the bytes
+// are fsynced before the rename and the directory entry after it (see
+// durable.WriteFileAtomic), so a run killed — or a machine powered off —
+// mid-write leaves the previous checkpoint intact, never a torn or empty
+// file.
 func SaveCheckpointFile(path string, c *Checkpoint) error {
 	data, err := EncodeCheckpoint(c)
 	if err != nil {
 		return err
 	}
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
-	if err != nil {
-		return fmt.Errorf("search: save checkpoint: %w", err)
-	}
-	if _, err := tmp.Write(append(data, '\n')); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return fmt.Errorf("search: save checkpoint: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return fmt.Errorf("search: save checkpoint: %w", err)
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		os.Remove(tmp.Name())
+	if err := durable.WriteFileAtomic(path, append(data, '\n')); err != nil {
 		return fmt.Errorf("search: save checkpoint: %w", err)
 	}
 	return nil

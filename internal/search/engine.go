@@ -1,6 +1,8 @@
 package search
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
@@ -132,6 +134,17 @@ type engine struct {
 // identical (spec, resume point) produce identical results and archives,
 // regardless of island scheduling.
 func Run(spec Spec, factory core.SystemFactory, opts Options) (*Result, error) {
+	return RunContext(context.Background(), spec, factory, opts)
+}
+
+// RunContext is Run under a cancellation context. A cancelled ctx halts
+// the search at the next evaluation boundary and returns the partial
+// result — every completed generation's statistics, archive and best —
+// alongside ctx.Err(), so callers can report progress and resume later
+// from the last checkpoint (which only ever records completed
+// generations). Callers distinguish interruption (non-nil result and
+// error) from failure (nil result).
+func RunContext(ctx context.Context, spec Spec, factory core.SystemFactory, opts Options) (*Result, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -191,12 +204,25 @@ func Run(spec Spec, factory core.SystemFactory, opts Options) (*Result, error) {
 	// past the requested stop point halts without evaluating another
 	// generation.
 	stopped := false
+	var interrupted error
 	for gen := e.nextGen; gen < spec.GA.Generations; gen++ {
 		if opts.StopAfter > 0 && gen >= opts.StopAfter {
 			stopped = true
 			break
 		}
-		if err := e.step(gen, factory, opts); err != nil {
+		if err := ctx.Err(); err != nil {
+			interrupted = err
+			break
+		}
+		if err := e.step(ctx, gen, factory, opts); err != nil {
+			// A cancellation mid-step leaves the engine consistent at the
+			// last completed generation: histories, archive and evaluation
+			// counts merge only at the post-evaluation barrier, which a
+			// cancelled step never reaches.
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				interrupted = err
+				break
+			}
 			return nil, err
 		}
 	}
@@ -216,7 +242,7 @@ func Run(spec Spec, factory core.SystemFactory, opts Options) (*Result, error) {
 	if err := res.findBest(spec); err != nil {
 		return nil, err
 	}
-	return res, nil
+	return res, interrupted
 }
 
 // initialize builds the generation-0 populations: uniform random genomes
@@ -264,7 +290,7 @@ func (e *engine) initialize() {
 // step runs one lockstep generation: parallel island evaluation, a
 // deterministic barrier (stats, archive, observer), then — unless this was
 // the final generation — ring migration, breeding, and checkpointing.
-func (e *engine) step(gen int, factory core.SystemFactory, opts Options) error {
+func (e *engine) step(ctx context.Context, gen int, factory core.SystemFactory, opts Options) error {
 	n := len(e.islands)
 	errs := make([]error, n)
 	// Archive candidates are collected per island during the parallel
@@ -276,7 +302,7 @@ func (e *engine) step(gen int, factory core.SystemFactory, opts Options) error {
 	for i := 0; i < n; i++ {
 		go func(isl *island) {
 			defer wg.Done()
-			cands[isl.id], counts[isl.id], errs[isl.id] = e.evaluateIsland(isl, gen, factory)
+			cands[isl.id], counts[isl.id], errs[isl.id] = e.evaluateIsland(ctx, isl, gen, factory)
 		}(e.islands[i])
 	}
 	wg.Wait()
@@ -327,7 +353,7 @@ func (e *engine) step(gen int, factory core.SystemFactory, opts Options) error {
 // in index order. Per-individual seeds depend only on (island seed,
 // generation, index) and estimates are worker-count invariant, so results
 // are independent of scheduling at both levels.
-func (e *engine) evaluateIsland(isl *island, gen int, factory core.SystemFactory) ([]ArchiveEntry, int, error) {
+func (e *engine) evaluateIsland(ctx context.Context, isl *island, gen int, factory core.SystemFactory) ([]ArchiveEntry, int, error) {
 	var cands []ArchiveEntry
 	evals := 0
 	popSize := e.spec.GA.PopulationSize
@@ -364,7 +390,7 @@ func (e *engine) evaluateIsland(isl *island, gen int, factory core.SystemFactory
 			fit.Run.Faults = fp
 			faultGenes = fault.Genes(fp)
 		}
-		fitness, est, err := evaluateEncounter(m, seed, fit, factory, e.episodeWorkers, &isl.scratch)
+		fitness, est, err := evaluateEncounter(ctx, m, seed, fit, factory, e.episodeWorkers, &isl.scratch)
 		if err != nil {
 			return nil, 0, err
 		}
@@ -397,14 +423,14 @@ func (e *engine) evaluateIsland(isl *island, gen int, factory core.SystemFactory
 // seed-derived stochastic dynamics and sensor noise, scored by the paper's
 // fitness = gain * mean(1 / (1 + d_k)). episodeWorkers is the per-batch
 // episode parallelism layered on top of the island goroutines.
-func evaluateEncounter(m encounter.MultiParams, seed uint64, fit core.FitnessConfig, factory core.SystemFactory, episodeWorkers int, scratch *montecarlo.Scratch) (float64, *montecarlo.Estimate, error) {
+func evaluateEncounter(ctx context.Context, m encounter.MultiParams, seed uint64, fit core.FitnessConfig, factory core.SystemFactory, episodeWorkers int, scratch *montecarlo.Scratch) (float64, *montecarlo.Estimate, error) {
 	cfg := montecarlo.Config{
 		Samples:     fit.SimsPerEncounter,
 		Run:         fit.Run,
 		Seed:        seed,
 		Parallelism: episodeWorkers,
 	}
-	est, err := montecarlo.EvaluateMultiWithScratch(montecarlo.MultiPointModel(m), montecarlo.SystemFactory(factory), cfg, scratch)
+	est, err := montecarlo.EvaluateMultiWithScratchContext(ctx, montecarlo.MultiPointModel(m), montecarlo.SystemFactory(factory), cfg, scratch)
 	if err != nil {
 		return 0, nil, err
 	}

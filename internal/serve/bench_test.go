@@ -1,0 +1,44 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// BenchmarkServeCellThroughput measures end-to-end service throughput in
+// campaign cells per second: submit, journal, shard, execute, journal
+// again, artifact. Each iteration uses a fresh seed so the completed-cell
+// cache never short-circuits the work being measured.
+func BenchmarkServeCellThroughput(b *testing.B) {
+	srv, err := NewServer(Config{StateDir: b.TempDir()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	const cellsPerJob = 4
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		params := fmt.Sprintf(`
+campaign.name = bench
+campaign.presets = headon, crossing
+campaign.systems = none, svo
+campaign.samples = 5
+campaign.seed = %d
+`, i+1)
+		st, err := srv.Submit(KindCampaign, params)
+		if err != nil {
+			b.Fatal(err)
+		}
+		final, err := srv.WaitJob(context.Background(), st.ID)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if final.Status != StatusDone {
+			b.Fatalf("job %s finished %s: %s", final.ID, final.Status, final.Error)
+		}
+	}
+	b.ReportMetric(float64(b.N*cellsPerJob)/time.Since(start).Seconds(), "cells/s")
+}

@@ -1,0 +1,136 @@
+package serve
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"acasxval/internal/campaign"
+)
+
+func TestJournalRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := JobSpec{Kind: KindCampaign, Name: "t", SpecHash: "abc", Params: "campaign.name = t\n"}
+	records := []Record{
+		{Type: "job", Job: "job-0001", Spec: &spec},
+		{Type: "status", Job: "job-0001", Status: StatusRunning},
+		{Type: "cell", Cell: &CellRecord{Hash: "abc", Index: 0, Seed: 42, Attempts: 1,
+			Result: campaign.CellResult{Index: 0, Campaign: "t", Scenario: "headon", PNMAC: 0.25, Params: []float64{1, 2}}}},
+		{Type: "poison", Poison: &PoisonRecord{Hash: "abd", Index: 1, Seed: 43, Attempts: 3, Error: "boom"}},
+		{Type: "status", Job: "job-0001", Status: StatusDegraded, Error: "1 of 2 cells poisoned"},
+	}
+	for _, rec := range records {
+		if err := j.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := ReplayJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Truncated {
+		t.Error("clean journal replayed as truncated")
+	}
+	if len(rep.Jobs) != 1 || rep.Jobs[0].ID != "job-0001" {
+		t.Fatalf("jobs = %+v, want one job-0001", rep.Jobs)
+	}
+	if rep.Jobs[0].Status != StatusDegraded || rep.Jobs[0].Error == "" {
+		t.Errorf("job replayed as %q/%q, want degraded with error", rep.Jobs[0].Status, rep.Jobs[0].Error)
+	}
+	if rep.Jobs[0].Spec != spec {
+		t.Errorf("spec round trip: got %+v want %+v", rep.Jobs[0].Spec, spec)
+	}
+	cell, ok := rep.Cells[CellKey{"abc", 42}]
+	if !ok || cell.Result.PNMAC != 0.25 || cell.Result.Scenario != "headon" {
+		t.Errorf("cell cache = %+v (ok %v)", cell, ok)
+	}
+	p, ok := rep.Poisoned[CellKey{"abd", 43}]
+	if !ok || p.Error != "boom" || p.Attempts != 3 {
+		t.Errorf("poison cache = %+v (ok %v)", p, ok)
+	}
+}
+
+func TestReplayJournalMissingIsEmpty(t *testing.T) {
+	rep, err := ReplayJournal(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Jobs) != 0 || len(rep.Cells) != 0 || rep.Truncated {
+		t.Errorf("fresh replay = %+v, want empty", rep)
+	}
+}
+
+// TestReplayJournalCrashTail: a journal whose final record is half
+// written (the append in flight at the kill) replays the complete prefix
+// and flags the truncation.
+func TestReplayJournalCrashTail(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := JobSpec{Kind: KindCampaign, Name: "t", Params: "x"}
+	if err := j.Append(Record{Type: "job", Job: "job-0001", Spec: &spec}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, JournalFile)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"type":"cell","cell":{"spec_ha`); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := ReplayJournal(dir)
+	if err != nil {
+		t.Fatalf("crash-tail journal failed to replay: %v", err)
+	}
+	if !rep.Truncated {
+		t.Error("crash tail not flagged")
+	}
+	if len(rep.Jobs) != 1 || len(rep.Cells) != 0 {
+		t.Errorf("replayed %d jobs %d cells, want 1 and 0", len(rep.Jobs), len(rep.Cells))
+	}
+}
+
+// TestReplayJournalInteriorCorruptionFatal: a corrupt record that is NOT
+// the crash tail is real corruption and must fail loudly.
+func TestReplayJournalInteriorCorruptionFatal(t *testing.T) {
+	dir := t.TempDir()
+	text := `{"type":"job","job":"job-0001","spec":{"kind":"campaign","name":"t","params":"x"}}` + "\n" +
+		`{"type":"cell","cell":{BROKEN` + "\n" +
+		`{"type":"status","job":"job-0001","status":"running"}` + "\n"
+	if err := os.WriteFile(filepath.Join(dir, JournalFile), []byte(text), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReplayJournal(dir); err == nil {
+		t.Fatal("interior corruption replayed without error")
+	}
+}
+
+func TestReplayJournalRejectsUnknownRecord(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, JournalFile), []byte(`{"type":"mystery"}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := ReplayJournal(dir)
+	if err == nil || !strings.Contains(err.Error(), "unknown record type") {
+		t.Fatalf("err = %v, want unknown record type", err)
+	}
+}

@@ -1,0 +1,279 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock drives the supervisor's state machine without real sleeps:
+// After records the requested duration and fires immediately, so retry
+// and timeout paths execute deterministically at full speed.
+type fakeClock struct {
+	mu     sync.Mutex
+	afters []time.Duration
+}
+
+func (c *fakeClock) Now() time.Time { return time.Unix(0, 0) }
+
+func (c *fakeClock) After(d time.Duration) <-chan time.Time {
+	c.mu.Lock()
+	c.afters = append(c.afters, d)
+	c.mu.Unlock()
+	ch := make(chan time.Time, 1)
+	ch <- time.Unix(0, 0)
+	return ch
+}
+
+func (c *fakeClock) requested() []time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]time.Duration(nil), c.afters...)
+}
+
+// counterDisrupt fails selected (shard, attempt) pairs; thread-safe.
+type counterDisrupt struct {
+	mu    sync.Mutex
+	calls int
+	fail  func(shard, attempt int) error
+}
+
+func (d *counterDisrupt) disrupt(shard, attempt int) error {
+	d.mu.Lock()
+	d.calls++
+	d.mu.Unlock()
+	return d.fail(shard, attempt)
+}
+
+func TestSupervisorAllFirstTry(t *testing.T) {
+	sup := &Supervisor{Workers: 2, Clock: &fakeClock{}}
+	var mu sync.Mutex
+	ran := make(map[int]int)
+	reports, err := sup.Run(context.Background(), 5, func(_ context.Context, shard, attempt int) error {
+		mu.Lock()
+		ran[shard]++
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 5 {
+		t.Fatalf("%d reports, want 5", len(reports))
+	}
+	for _, rep := range reports {
+		if rep.Attempts != 1 || rep.Poisoned || rep.Err != "" {
+			t.Errorf("report %+v, want one clean attempt", rep)
+		}
+		if ran[rep.Shard] != 1 {
+			t.Errorf("shard %d ran %d times", rep.Shard, ran[rep.Shard])
+		}
+	}
+}
+
+// TestSupervisorRetriesThenSucceeds: transient failures are retried with
+// backoff and the shard completes without poisoning.
+func TestSupervisorRetriesThenSucceeds(t *testing.T) {
+	clock := &fakeClock{}
+	d := &counterDisrupt{fail: func(shard, attempt int) error {
+		if shard == 1 && attempt <= 2 {
+			return fmt.Errorf("transient %d/%d", shard, attempt)
+		}
+		return nil
+	}}
+	var retries []int
+	sup := &Supervisor{
+		Workers: 1,
+		Policy:  RetryPolicy{MaxAttempts: 3},
+		Clock:   clock,
+		Disrupt: d.disrupt,
+		OnRetry: func(shard, attempt int, err error) { retries = append(retries, shard) },
+	}
+	reports, err := sup.Run(context.Background(), 3, func(context.Context, int, int) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep := reports[1]; rep.Attempts != 3 || rep.Poisoned || rep.Err != "" {
+		t.Errorf("shard 1 report %+v, want 3 attempts, recovered", rep)
+	}
+	if rep := reports[0]; rep.Attempts != 1 {
+		t.Errorf("shard 0 report %+v, want first-try success", rep)
+	}
+	if len(retries) != 2 || retries[0] != 1 || retries[1] != 1 {
+		t.Errorf("OnRetry saw %v, want [1 1]", retries)
+	}
+	// Two backoff sleeps were requested, with exponential growth.
+	afters := clock.requested()
+	if len(afters) != 2 {
+		t.Fatalf("%d backoff sleeps, want 2", len(afters))
+	}
+	p := sup.Policy
+	for i, d := range afters {
+		if want := p.Backoff(sup.Seed, 1, i+1); d != want {
+			t.Errorf("backoff %d = %v, want %v", i, d, want)
+		}
+	}
+}
+
+// TestSupervisorQuarantine: a shard failing every attempt is poisoned
+// exactly once and the rest of the run completes.
+func TestSupervisorQuarantine(t *testing.T) {
+	d := &counterDisrupt{fail: func(shard, attempt int) error {
+		if shard == 0 {
+			return errors.New("hard failure")
+		}
+		return nil
+	}}
+	sup := &Supervisor{Workers: 2, Policy: RetryPolicy{MaxAttempts: 3}, Clock: &fakeClock{}, Disrupt: d.disrupt}
+	reports, err := sup.Run(context.Background(), 4, func(context.Context, int, int) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	poisoned := 0
+	for _, rep := range reports {
+		if rep.Poisoned {
+			poisoned++
+			if rep.Shard != 0 || rep.Attempts != 3 || rep.Err == "" {
+				t.Errorf("poisoned report %+v, want shard 0 after 3 attempts with error", rep)
+			}
+		}
+	}
+	if poisoned != 1 {
+		t.Errorf("%d poisoned reports, want exactly 1", poisoned)
+	}
+}
+
+// TestSupervisorPanicRecovered: a panicking attempt is contained,
+// converted to a retriable failure, and the shard recovers.
+func TestSupervisorPanicRecovered(t *testing.T) {
+	d := &counterDisrupt{fail: func(shard, attempt int) error {
+		if attempt == 1 {
+			panic("worker crashed")
+		}
+		return nil
+	}}
+	sup := &Supervisor{Workers: 1, Policy: RetryPolicy{MaxAttempts: 3}, Clock: &fakeClock{}, Disrupt: d.disrupt}
+	reports, err := sup.Run(context.Background(), 1, func(context.Context, int, int) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep := reports[0]; rep.Attempts != 2 || rep.Poisoned {
+		t.Errorf("report %+v, want recovery on attempt 2", rep)
+	}
+}
+
+// TestSupervisorTimeout: an attempt overrunning its deadline is
+// cancelled, awaited, and retried.
+func TestSupervisorTimeout(t *testing.T) {
+	sup := &Supervisor{
+		Workers: 1,
+		Policy:  RetryPolicy{MaxAttempts: 2, Timeout: time.Second},
+		Clock:   &fakeClock{}, // the deadline fires immediately
+	}
+	var mu sync.Mutex
+	attempts := 0
+	reports, err := sup.Run(context.Background(), 1, func(ctx context.Context, shard, attempt int) error {
+		mu.Lock()
+		attempts++
+		mu.Unlock()
+		if attempt == 1 {
+			<-ctx.Done() // simulate a hung cell: only the deadline frees it
+			return ctx.Err()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep := reports[0]; rep.Attempts != 2 || rep.Poisoned {
+		t.Errorf("report %+v, want recovery on attempt 2 after timeout", rep)
+	}
+	if attempts != 2 {
+		t.Errorf("run called %d times, want 2", attempts)
+	}
+}
+
+// TestSupervisorCancel: context cancellation stops the run without
+// poisoning anything — cancelled work must stay retriable on resume.
+func TestSupervisorCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	sup := &Supervisor{Workers: 1, Policy: RetryPolicy{MaxAttempts: 3}, Clock: &fakeClock{}}
+	started := make(chan struct{})
+	var once sync.Once
+	reports, err := sup.Run(ctx, 4, func(ctx context.Context, shard, attempt int) error {
+		once.Do(func() { close(started); cancel() })
+		return ctx.Err()
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	<-started
+	for _, rep := range reports {
+		if rep.Poisoned {
+			t.Errorf("cancelled run poisoned shard %d", rep.Shard)
+		}
+	}
+}
+
+// TestSupervisorDrain: closing Drain stops scheduling new shards but
+// lets the in-flight shard finish.
+func TestSupervisorDrain(t *testing.T) {
+	drain := make(chan struct{})
+	sup := &Supervisor{Workers: 1, Clock: &fakeClock{}, Drain: drain}
+	var once sync.Once
+	reports, err := sup.Run(context.Background(), 10, func(context.Context, int, int) error {
+		once.Do(func() { close(drain) })
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	finished, unstarted := 0, 0
+	for _, rep := range reports {
+		switch {
+		case rep.Attempts == 1 && !rep.Poisoned && rep.Err == "":
+			finished++
+		case rep.Attempts == 0:
+			unstarted++
+		default:
+			t.Errorf("unexpected report %+v", rep)
+		}
+	}
+	if finished == 0 || unstarted == 0 {
+		t.Errorf("finished %d unstarted %d, want both nonzero", finished, unstarted)
+	}
+}
+
+// TestBackoffDeterministicAndBounded: the schedule is a pure function of
+// (seed, shard, attempt), grows exponentially, and stays within twice the
+// cap (base delay plus sub-delay jitter).
+func TestBackoffDeterministicAndBounded(t *testing.T) {
+	p := RetryPolicy{BackoffBase: 50 * time.Millisecond, BackoffMax: 5 * time.Second}
+	for shard := 0; shard < 3; shard++ {
+		prevBase := time.Duration(0)
+		for attempt := 1; attempt <= 10; attempt++ {
+			d := p.Backoff(7, shard, attempt)
+			if d2 := p.Backoff(7, shard, attempt); d2 != d {
+				t.Fatalf("Backoff not deterministic: %v then %v", d, d2)
+			}
+			base := p.BackoffBase << (attempt - 1)
+			if base > p.BackoffMax {
+				base = p.BackoffMax
+			}
+			if d < base || d >= 2*base {
+				t.Errorf("shard %d attempt %d: backoff %v outside [%v, %v)", shard, attempt, d, base, 2*base)
+			}
+			if base < prevBase {
+				t.Errorf("backoff base shrank: %v after %v", base, prevBase)
+			}
+			prevBase = base
+		}
+	}
+	// Different shards jitter differently (with overwhelming probability).
+	if p.Backoff(7, 0, 1) == p.Backoff(7, 1, 1) && p.Backoff(7, 0, 2) == p.Backoff(7, 1, 2) {
+		t.Error("jitter identical across shards — lockstep retries")
+	}
+}

@@ -18,6 +18,10 @@
 #	                   (default 5x; each op is a 512-episode estimate)
 #	TABLE_BENCHTIME    -benchtime for the table save/load benchmarks
 #	                   (default 50x)
+#	SERVE_BENCHTIME    -benchtime for the validation-service throughput
+#	                   benchmark (default 3x; each op is a 4-cell job
+#	                   through submit -> journal -> shard -> artifacts,
+#	                   reported as cells/s)
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -27,6 +31,7 @@ LOOKUP_BENCHTIME=${LOOKUP_BENCHTIME:-100000x}
 EPISODE_BENCHTIME=${EPISODE_BENCHTIME:-2000x}
 PARALLEL_BENCHTIME=${PARALLEL_BENCHTIME:-5x}
 TABLE_BENCHTIME=${TABLE_BENCHTIME:-50x}
+SERVE_BENCHTIME=${SERVE_BENCHTIME:-3x}
 
 TMP=$(mktemp)
 STAGE=$(mktemp)
@@ -78,6 +83,13 @@ run_bench -run '^$' -bench '^BenchmarkEvaluateParallel$' \
 # Logic-table save/load throughput (bulk slice encoding).
 run_bench -run '^$' -bench '^(BenchmarkTableWriteTo|BenchmarkTableReadTable)$' \
   -benchtime "$TABLE_BENCHTIME" -benchmem ./internal/acasx
+
+# Validation-service throughput: full submit -> journal -> shard ->
+# artifact cycles through the crash-safe server, with an fsync per
+# journal record. The custom cells/s metric is the service's headline
+# number; a drop means the durability or supervision layer got heavier.
+run_bench -run '^$' -bench '^BenchmarkServeCellThroughput$' \
+  -benchtime "$SERVE_BENCHTIME" -benchmem ./internal/serve
 
 # Convert into $STAGE first and move into place, so a benchjson failure
 # cannot leave a truncated snapshot behind.
