@@ -264,9 +264,22 @@ func FaultPreset(name string) (FaultProfile, error) { return fault.Preset(name) 
 func FaultPresetNames() []string { return fault.PresetNames() }
 
 // RunEncounter simulates one encounter (deterministic under seed).
+// Callers running many episodes should hold an EncounterRunner and call
+// its Run method instead: it reuses the whole simulation world, while
+// RunEncounter rebuilds one per call.
 func RunEncounter(p EncounterParams, own, intruder System, cfg RunConfig, seed uint64) (RunResult, error) {
 	return sim.RunEncounter(p, own, intruder, cfg, seed)
 }
+
+// EncounterRunner is a reusable simulation world: fleet, trackers,
+// monitors and RNG streams persist across episodes, so steady-state
+// episode throughput is allocation-free. Results are bit-identical to
+// RunEncounter/RunMultiEncounter under the same seeds. Not safe for
+// concurrent use; each goroutine owns one.
+type EncounterRunner = sim.Runner
+
+// NewEncounterRunner builds a reusable simulation world for cfg.
+func NewEncounterRunner(cfg RunConfig) (*EncounterRunner, error) { return sim.NewRunner(cfg) }
 
 // RunMultiEncounter simulates one encounter between the ownship and the
 // scenario's K intruders: systems[0] equips the ownship, systems[j]

@@ -28,7 +28,7 @@ var (
 	coarseErr   error
 )
 
-func getCoarseTable(t *testing.T) *Table {
+func getCoarseTable(t testing.TB) *Table {
 	t.Helper()
 	coarseOnce.Do(func() {
 		cfg := CoarseConfig()

@@ -1,0 +1,136 @@
+package acasx
+
+import (
+	"math"
+	"sort"
+
+	"acasxval/internal/interp"
+)
+
+// Query is one pending shared-weight table lookup: the MDP state of a
+// decision cycle split by Logic.BeginDecide, to be served (possibly
+// batched and cell-grouped) and completed by Logic.FinishDecide.
+type Query struct {
+	Tau, H, DH0, DH1 float64
+	RA               Advisory
+}
+
+// BatchScratch is the reusable working state of AllQValuesBatch. The zero
+// value is ready to use; at a steady batch size it allocates nothing.
+type BatchScratch struct {
+	ws    []interp.VertexWeight
+	ends  []int
+	pts   []float64
+	keys  []int64
+	order []int
+}
+
+// Len/Less/Swap sort the query order by cell key; implementing
+// sort.Interface on the scratch itself keeps the sort allocation-free.
+func (s *BatchScratch) Len() int { return len(s.order) }
+func (s *BatchScratch) Less(i, j int) bool {
+	// Ties resolve by query index so the processing order is
+	// deterministic (the results do not depend on it — every query is
+	// independent — but deterministic cache behavior keeps benchmarks
+	// honest).
+	ki, kj := s.keys[s.order[i]], s.keys[s.order[j]]
+	if ki != kj {
+		return ki < kj
+	}
+	return s.order[i] < s.order[j]
+}
+func (s *BatchScratch) Swap(i, j int) { s.order[i], s.order[j] = s.order[j], s.order[i] }
+
+// grow resets the scratch for n queries.
+func (s *BatchScratch) grow(n int) {
+	s.ws = s.ws[:0]
+	s.ends = s.ends[:0]
+	if cap(s.pts) < 3*n {
+		s.pts = make([]float64, 0, 3*n)
+		s.keys = make([]int64, 0, n)
+		s.order = make([]int, 0, n)
+	}
+	s.pts = s.pts[:0]
+	s.keys = s.keys[:0]
+	s.order = s.order[:0]
+}
+
+// AllQValuesBatch serves a batch of shared-weight queries: dst[i] receives
+// the advisory values of queries[i] and bounds[i] its quantization error
+// bound (0 on the exact path), exactly as AllQValuesFast would produce
+// them — every query is computed with the identical arithmetic, so the
+// batch is bit-identical to serving the queries one at a time. The batch
+// exists for locality: queries are grouped by enclosing grid cell (and
+// bracketing tau slice) before the gathers run, so a batch of episodes in
+// nearby states touches each table region once instead of striding the
+// whole table once per episode.
+//
+// dst and bounds must have len(queries) entries; scratch must not be nil.
+func (t *Table) AllQValuesBatch(dst [][NumAdvisories]float64, bounds []float64, queries []Query, scratch *BatchScratch) {
+	n := len(queries)
+	scratch.grow(n)
+	for i := range queries {
+		scratch.pts = append(scratch.pts, queries[i].H, queries[i].DH0, queries[i].DH1)
+	}
+	var err error
+	scratch.ws, scratch.ends, err = t.grid.WeightsAppendBatch(scratch.ws, scratch.ends, scratch.pts)
+	if err != nil {
+		// The grid is 3-dimensional and the points are packed 3-wide by
+		// construction; the only failure mode is a programming error.
+		panic(err)
+	}
+	numK := len(t.q)
+	for i := range queries {
+		start := 0
+		if i > 0 {
+			start = scratch.ends[i-1]
+		}
+		lo, _ := t.clampTau(queries[i].Tau)
+		// The span's first record is the all-lower cell corner: its flat
+		// index identifies the enclosing cell, and with the bracketing
+		// slice appended it is the locality sort key.
+		scratch.keys = append(scratch.keys, int64(scratch.ws[start].Flat)*int64(numK)+int64(lo))
+		scratch.order = append(scratch.order, i)
+	}
+	sort.Sort(scratch)
+	for _, i := range scratch.order {
+		q := &queries[i]
+		if !q.RA.Valid() {
+			for a := range dst[i] {
+				dst[i][a] = math.Inf(-1)
+			}
+			bounds[i] = 0
+			continue
+		}
+		start := 0
+		if i > 0 {
+			start = scratch.ends[i-1]
+		}
+		ws := scratch.ws[start:scratch.ends[i]]
+		lo, frac := t.clampTau(q.Tau)
+		if t.qz != nil {
+			bounds[i] = t.gatherQuant(&dst[i], ws, lo, frac, q.RA)
+			continue
+		}
+		bounds[i] = 0
+		t.gatherExact(&dst[i], ws, lo, frac, q.RA)
+	}
+}
+
+// gatherExact is the shared-weight exact gather of AllQValues, factored so
+// the batch path reuses precomputed weight spans with the identical
+// arithmetic (and therefore bit-identical results).
+func (t *Table) gatherExact(dst *[NumAdvisories]float64, ws []interp.VertexWeight, lo int, frac float64, ra Advisory) {
+	raOff := int(ra) * t.contSize
+	stateSize := t.stateSize()
+	qlo := t.q[lo]
+	for a := 0; a < NumAdvisories; a++ {
+		dst[a] = dotGather(ws, qlo, a*stateSize+raOff)
+	}
+	if frac > 0 && lo+1 <= t.Horizon() {
+		qhi := t.q[lo+1]
+		for a := 0; a < NumAdvisories; a++ {
+			dst[a] = dst[a]*(1-frac) + frac*dotGather(ws, qhi, a*stateSize+raOff)
+		}
+	}
+}

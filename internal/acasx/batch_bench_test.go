@@ -1,0 +1,105 @@
+package acasx
+
+import (
+	"sync"
+	"testing"
+)
+
+// The lookup benchmarks run the full-resolution table (38.8 MB of float64
+// slices — larger than the last-level cache, so uncorrelated queries pay
+// DRAM latency) against its int16 quantized mirror (~9.7 MB, margin-gated,
+// argmax-identical). The coarse test table would hide the effect the
+// batch kernel exists for: it fits in L2.
+var (
+	benchTablesOnce  sync.Once
+	benchExactTable  *Table
+	benchQuantTable  *Table
+	benchTablesError error
+)
+
+func benchTables(tb testing.TB) (exact, quant *Table) {
+	tb.Helper()
+	benchTablesOnce.Do(func() {
+		cfg := DefaultConfig()
+		cfg.Workers = 8
+		benchExactTable, benchTablesError = BuildTable(cfg)
+		if benchTablesError != nil {
+			return
+		}
+		cfg.Quantized = true
+		benchQuantTable, benchTablesError = BuildTable(cfg)
+	})
+	if benchTablesError != nil {
+		tb.Fatal(benchTablesError)
+	}
+	return benchExactTable, benchQuantTable
+}
+
+// benchBackends names the two table backends the lookup benchmarks sweep.
+func benchBackends(tb testing.TB) []struct {
+	name  string
+	table *Table
+} {
+	exact, quant := benchTables(tb)
+	return []struct {
+		name  string
+		table *Table
+	}{
+		{"exact", exact},
+		{"quantized", quant},
+	}
+}
+
+// BenchmarkAllQValuesFast measures one shared-weight advisory-vector
+// lookup per op on each backend — the innermost unit of every decision
+// cycle — over a domain-spanning random query stream (the worst case for
+// locality; an episode's own trajectory corridor is far more correlated).
+// The quantized backend's win is pure cache footprint: identical
+// arithmetic shape, a quarter the bytes per gather.
+func BenchmarkAllQValuesFast(b *testing.B) {
+	for _, backend := range benchBackends(b) {
+		b.Run(backend.name, func(b *testing.B) {
+			table := backend.table
+			states := randomStates(table, 4096, 51)
+			var qv [NumAdvisories]float64
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s := states[i&4095]
+				table.AllQValuesFast(&qv, s.tau, s.h, s.dh0, s.dh1, Advisory(i%NumAdvisories))
+			}
+		})
+	}
+}
+
+// BenchmarkAllQValuesBatch serves 256 gathered queries per op through the
+// cell-grouped batch path on each backend, reporting per-lookup cost as
+// lookups/s — the kernel the lockstep episode batch leans on. Grouping
+// queries by grid cell turns the random-access gather stream into
+// sequential passes over each touched table region, so the batch beats
+// 256 solo AllQValuesFast calls well past 2x on the DRAM-resident exact
+// table; the quantized backend stacks its smaller working set on top.
+// The BENCH_<date>.json snapshots track both.
+func BenchmarkAllQValuesBatch(b *testing.B) {
+	const batch = 256
+	for _, backend := range benchBackends(b) {
+		b.Run(backend.name, func(b *testing.B) {
+			table := backend.table
+			states := randomStates(table, batch, 53)
+			queries := make([]Query, batch)
+			for i, s := range states {
+				queries[i] = Query{Tau: s.tau, H: s.h, DH0: s.dh0, DH1: s.dh1, RA: Advisory(i % NumAdvisories)}
+			}
+			dst := make([][NumAdvisories]float64, batch)
+			bounds := make([]float64, batch)
+			var scratch BatchScratch
+			table.AllQValuesBatch(dst, bounds, queries, &scratch) // warm the scratch
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				table.AllQValuesBatch(dst, bounds, queries, &scratch)
+			}
+			b.ReportMetric(float64(batch)*float64(b.N)/b.Elapsed().Seconds(), "lookups/s")
+		})
+	}
+}

@@ -1,0 +1,241 @@
+package acasx
+
+import (
+	"fmt"
+	"math"
+
+	"acasxval/internal/interp"
+)
+
+// Quantized table backend: int16 fixed-point Q storage for cache-resident
+// online lookups.
+//
+// The exact table stores float64 Q values slice-major and action-major
+// (q[k][a*stateSize + ra*contSize + c]), which is ideal for the offline
+// sweep but poor for the online executive: one AllQValues query reads 8
+// cell corners x 5 advisories x 2 tau slices, and in the action-major
+// layout those ~80 values live megabytes apart — with the ~40 MB default
+// table every one is a DRAM miss. The quantized backend re-codes each
+// slice's values as int16 with a per-slice affine codec (value ~= offset +
+// scale*code) and permutes the storage to vertex-major order with the
+// advisory axis innermost and the tau axis next:
+//
+//	qz[((c*NumAdvisories + ra)*numSlices + k)*NumAdvisories + a]
+//
+// so the 10 values a corner contributes to a query (5 advisories x 2
+// bracketing slices) are 20 contiguous bytes. A query touches ~8 cache
+// lines instead of ~80, and the whole backend is ~4x smaller (~10 MB for
+// the default grid), making the hot working set close to cache-resident.
+//
+// Correctness contract: quantization perturbs Q values by at most the
+// per-slice bound Table.qerr, so the advisory argmax can only differ from
+// the exact path when the top-two margin is within that bound. Every
+// consumer of quantized values goes through a margin gate
+// (bestAllowedGated, or the fused-margin gate in multiCycle) that falls
+// back to the retained exact slices in that case — chosen advisories are
+// therefore always identical to the exact path, which keeps trajectories,
+// estimates and golden artifacts bit-identical. The exact slices are
+// retained for the fallback and for serialization; the file format stores
+// the exact values and re-derives the codes on load, so quantization
+// round-trips losslessly.
+
+// quantRange is the symmetric int16 code range. Using 32767 (not 32768)
+// keeps the codec symmetric: code = -quantRange..+quantRange.
+const quantRange = 32767
+
+// quantParams derives the affine codec of one slice: offset is the range
+// midpoint, scale maps the half-range onto the int16 code range. A
+// constant slice gets scale 0 (every value decodes to offset exactly).
+func quantParams(vals []float64) (scale, offset float64, err error) {
+	if len(vals) == 0 {
+		return 0, 0, fmt.Errorf("acasx: quantize: empty slice")
+	}
+	lo, hi := vals[0], vals[0]
+	for _, v := range vals {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return 0, 0, fmt.Errorf("acasx: quantize: non-finite value %v", v)
+		}
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	offset = lo + (hi-lo)/2
+	if hi == lo {
+		return 0, offset, nil
+	}
+	scale = (hi - lo) / (2 * quantRange)
+	return scale, offset, nil
+}
+
+// quantCode encodes one value under the codec. Codes are clamped to the
+// symmetric int16 range, so even values slightly outside the derived
+// range (which quantParams precludes, but a fuzzer may not) stay valid.
+func quantCode(v, scale, offset float64) int16 {
+	if scale == 0 {
+		return 0
+	}
+	c := math.Round((v - offset) / scale)
+	if c > quantRange {
+		c = quantRange
+	}
+	if c < -quantRange {
+		c = -quantRange
+	}
+	return int16(c)
+}
+
+// quantDecode decodes one code under the codec.
+func quantDecode(code int16, scale, offset float64) float64 {
+	return offset + scale*float64(code)
+}
+
+// Quantize installs the int16 backend, derived from the exact slices (which
+// are retained for the margin-gate fallback and for serialization). It is
+// idempotent; quantizing a freshly built or loaded table never changes any
+// decision the executive makes (see the package comment above).
+func (t *Table) Quantize() error {
+	if t.qz != nil {
+		return nil
+	}
+	numK := len(t.q)
+	if numK == 0 || t.contSize == 0 {
+		return fmt.Errorf("acasx: quantize: table has no slices")
+	}
+	stateSize := t.stateSize()
+	scale := make([]float64, numK)
+	offset := make([]float64, numK)
+	qerr := make([]float64, numK)
+	qz := make([]int16, numK*stateSize*NumAdvisories)
+	for k, slice := range t.q {
+		s, o, err := quantParams(slice)
+		if err != nil {
+			return err
+		}
+		scale[k], offset[k] = s, o
+		maxErr := 0.0
+		for c := 0; c < t.contSize; c++ {
+			for ra := 0; ra < NumAdvisories; ra++ {
+				src := ra*t.contSize + c
+				dst := ((c*NumAdvisories+ra)*numK + k) * NumAdvisories
+				for a := 0; a < NumAdvisories; a++ {
+					v := slice[a*stateSize+src]
+					code := quantCode(v, s, o)
+					qz[dst+a] = code
+					if e := math.Abs(quantDecode(code, s, o) - v); e > maxErr {
+						maxErr = e
+					}
+				}
+			}
+		}
+		// The gate compares interpolated values, which are convex
+		// combinations of vertex values (weights are non-negative and sum
+		// to 1 up to a few ULP), so the measured per-vertex bound holds for
+		// every query up to floating-point noise; inflate it slightly so
+		// the gate is strictly conservative.
+		qerr[k] = maxErr*(1+1e-9) + 1e-9
+	}
+	t.qz = qz
+	t.qscale, t.qoff, t.qerr = scale, offset, qerr
+	t.cfg.Quantized = true
+	return nil
+}
+
+// Quantized reports whether the int16 backend is installed.
+func (t *Table) Quantized() bool { return t.qz != nil }
+
+// QuantFallbacks returns how many gated decisions were re-served from the
+// exact slices because the quantized top-two margin was inside the error
+// bound. The counter is cumulative over the table's lifetime and safe to
+// read concurrently.
+func (t *Table) QuantFallbacks() uint64 { return t.fallbacks.Load() }
+
+// QuantBytes returns the size of the int16 backend in bytes (0 when not
+// quantized) — the online working set the backend substitutes for the
+// 8-bytes-per-entry exact slices.
+func (t *Table) QuantBytes() int { return 2 * len(t.qz) }
+
+// gatherQuant serves one shared-weight query from the int16 backend,
+// filling dst with the decoded, interpolated value of every advisory and
+// returning the worst-case absolute error bound versus the exact path.
+func (t *Table) gatherQuant(dst *[NumAdvisories]float64, ws []interp.VertexWeight, lo int, frac float64, ra Advisory) float64 {
+	numK := len(t.qscale)
+	qz := t.qz
+	var acc0, acc1 [NumAdvisories]float64
+	blend := frac > 0 && lo+1 < numK
+	if blend {
+		for _, vw := range ws {
+			base := ((vw.Flat*NumAdvisories+int(ra))*numK + lo) * NumAdvisories
+			w := vw.Weight
+			row := qz[base : base+2*NumAdvisories : base+2*NumAdvisories]
+			acc0[0] += w * float64(row[0])
+			acc0[1] += w * float64(row[1])
+			acc0[2] += w * float64(row[2])
+			acc0[3] += w * float64(row[3])
+			acc0[4] += w * float64(row[4])
+			acc1[0] += w * float64(row[5])
+			acc1[1] += w * float64(row[6])
+			acc1[2] += w * float64(row[7])
+			acc1[3] += w * float64(row[8])
+			acc1[4] += w * float64(row[9])
+		}
+		s0, o0 := t.qscale[lo], t.qoff[lo]
+		s1, o1 := t.qscale[lo+1], t.qoff[lo+1]
+		for a := range dst {
+			dst[a] = (1-frac)*(o0+s0*acc0[a]) + frac*(o1+s1*acc1[a])
+		}
+		return (1-frac)*t.qerr[lo] + frac*t.qerr[lo+1]
+	}
+	for _, vw := range ws {
+		base := ((vw.Flat*NumAdvisories+int(ra))*numK + lo) * NumAdvisories
+		w := vw.Weight
+		row := qz[base : base+NumAdvisories : base+NumAdvisories]
+		acc0[0] += w * float64(row[0])
+		acc0[1] += w * float64(row[1])
+		acc0[2] += w * float64(row[2])
+		acc0[3] += w * float64(row[3])
+		acc0[4] += w * float64(row[4])
+	}
+	s0, o0 := t.qscale[lo], t.qoff[lo]
+	for a := range dst {
+		dst[a] = o0 + s0*acc0[a]
+	}
+	return t.qerr[lo]
+}
+
+// allowedRunnerUp returns the largest value among allowed advisories other
+// than best (-Inf when best is the only allowed advisory).
+func allowedRunnerUp(q *[NumAdvisories]float64, mask SenseMask, best Advisory) float64 {
+	second := math.Inf(-1)
+	for a := COC; a < NumAdvisories; a++ {
+		if a == best || !mask.Allows(a) {
+			continue
+		}
+		if q[a] > second {
+			second = q[a]
+		}
+	}
+	return second
+}
+
+// bestAllowedGated resolves the advisory argmax of quantized values: when
+// the top-two margin among allowed advisories is within twice the
+// quantization error bound the exact table is consulted, so the chosen
+// advisory is always the exact path's argmax. bound 0 (exact values)
+// short-circuits to the plain scan.
+func (t *Table) bestAllowedGated(q *[NumAdvisories]float64, bound float64, mask SenseMask,
+	tau, h, dh0, dh1 float64, ra Advisory) (Advisory, bool) {
+	best, ok := bestAllowed(q, mask)
+	if !ok || bound == 0 {
+		return best, ok
+	}
+	if q[best]-allowedRunnerUp(q, mask, best) > 2*bound {
+		return best, ok
+	}
+	t.fallbacks.Add(1)
+	var qe [NumAdvisories]float64
+	t.AllQValues(&qe, tau, h, dh0, dh1, ra)
+	return bestAllowed(&qe, mask)
+}

@@ -1,0 +1,276 @@
+package acasx
+
+import (
+	"bytes"
+	"math"
+	"sync"
+	"testing"
+)
+
+// sharedQuantTable builds the quantized coarse table once for the package:
+// the identical build as getCoarseTable (Quantized is not a build input),
+// plus the int16 backend.
+var (
+	quantOnce  sync.Once
+	quantTable *Table
+	quantErr   error
+)
+
+func getQuantTable(t testing.TB) *Table {
+	t.Helper()
+	quantOnce.Do(func() {
+		cfg := CoarseConfig()
+		cfg.Workers = 4
+		cfg.Quantized = true
+		quantTable, quantErr = BuildTable(cfg)
+	})
+	if quantErr != nil {
+		t.Fatal(quantErr)
+	}
+	if !quantTable.Quantized() {
+		t.Fatal("BuildTable with Quantized did not quantize")
+	}
+	return quantTable
+}
+
+// TestQuantizedArgmaxGolden is the quantized backend's acceptance test: on
+// a golden stream of random states, BestAdvisoryFast through the quantized
+// table must return the identical advisory as the exact table, for every
+// advisory state and mask — the margin gate falls back to the exact slices
+// whenever the quantized top-two gap cannot prove the argmax.
+func TestQuantizedArgmaxGolden(t *testing.T) {
+	exact := getCoarseTable(t)
+	quant := getQuantTable(t)
+	masks := []SenseMask{
+		{},
+		{BanUp: true},
+		{BanDown: true},
+		{BanUp: true, BanDown: true},
+	}
+	queries, fallsBefore := 0, quant.QuantFallbacks()
+	for _, s := range randomStates(exact, 400, 23) {
+		for ra := 0; ra < NumAdvisories; ra++ {
+			for _, mask := range masks {
+				wantBest, wantOK := exact.BestAdvisoryFast(s.tau, s.h, s.dh0, s.dh1, Advisory(ra), mask)
+				gotBest, gotOK := quant.BestAdvisoryFast(s.tau, s.h, s.dh0, s.dh1, Advisory(ra), mask)
+				if gotBest != wantBest || gotOK != wantOK {
+					t.Fatalf("state %+v ra=%d mask=%+v: quantized (%v,%v) != exact (%v,%v)",
+						s, ra, mask, gotBest, gotOK, wantBest, wantOK)
+				}
+				queries++
+			}
+		}
+	}
+	if falls := quant.QuantFallbacks() - fallsBefore; falls > uint64(queries)/2 {
+		// The gate is only a win if it rarely engages; a majority fallback
+		// rate means the error bound is useless, not merely conservative.
+		t.Errorf("margin gate fell back on %d of %d queries", falls, queries)
+	}
+}
+
+// TestQuantizedBound: the quantized fast values must stay within the
+// reported error bound of the exact values, and AllQValues on a quantized
+// table must remain bit-exact (the float64 slices are retained).
+func TestQuantizedBound(t *testing.T) {
+	exact := getCoarseTable(t)
+	quant := getQuantTable(t)
+	for _, s := range randomStates(exact, 300, 29) {
+		for ra := 0; ra < NumAdvisories; ra++ {
+			var ref, qx, qf [NumAdvisories]float64
+			exact.AllQValues(&ref, s.tau, s.h, s.dh0, s.dh1, Advisory(ra))
+			quant.AllQValues(&qx, s.tau, s.h, s.dh0, s.dh1, Advisory(ra))
+			bound := quant.AllQValuesFast(&qf, s.tau, s.h, s.dh0, s.dh1, Advisory(ra))
+			if bound <= 0 {
+				t.Fatalf("state %+v ra=%d: non-positive bound %v from a quantized table", s, ra, bound)
+			}
+			for a := 0; a < NumAdvisories; a++ {
+				if math.Float64bits(qx[a]) != math.Float64bits(ref[a]) {
+					t.Fatalf("state %+v ra=%d a=%d: quantized table's AllQValues drifted: %v != %v",
+						s, ra, a, qx[a], ref[a])
+				}
+				if err := math.Abs(qf[a] - ref[a]); err > bound {
+					t.Fatalf("state %+v ra=%d a=%d: quantized error %v exceeds bound %v",
+						s, ra, a, err, bound)
+				}
+			}
+		}
+	}
+}
+
+// TestQuantizedFastExactDelegation: on an unquantized table AllQValuesFast
+// is the exact path with a zero bound.
+func TestQuantizedFastExactDelegation(t *testing.T) {
+	exact := getCoarseTable(t)
+	for _, s := range randomStates(exact, 50, 31) {
+		var ref, fast [NumAdvisories]float64
+		exact.AllQValues(&ref, s.tau, s.h, s.dh0, s.dh1, COC)
+		if bound := exact.AllQValuesFast(&fast, s.tau, s.h, s.dh0, s.dh1, COC); bound != 0 {
+			t.Fatalf("exact table reported bound %v", bound)
+		}
+		if fast != ref {
+			t.Fatalf("exact delegation drifted: %v != %v", fast, ref)
+		}
+	}
+}
+
+// TestQuantizedSerializeRoundTrip: a quantized table survives WriteTo /
+// ReadTable with its flag, its exact slices, and (re-derived) identical
+// int16 codes — the file stores the lossless float64 payload.
+func TestQuantizedSerializeRoundTrip(t *testing.T) {
+	quant := getQuantTable(t)
+	var buf bytes.Buffer
+	if _, err := quant.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadTable(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !loaded.Config().Quantized || !loaded.Quantized() {
+		t.Fatal("round trip lost the quantized backend")
+	}
+	if got, want := loaded.QuantBytes(), quant.QuantBytes(); got != want {
+		t.Fatalf("quantized size drifted: %d != %d", got, want)
+	}
+	for _, s := range randomStates(quant, 100, 37) {
+		for ra := 0; ra < NumAdvisories; ra++ {
+			var a, b [NumAdvisories]float64
+			ba := quant.AllQValuesFast(&a, s.tau, s.h, s.dh0, s.dh1, Advisory(ra))
+			bb := loaded.AllQValuesFast(&b, s.tau, s.h, s.dh0, s.dh1, Advisory(ra))
+			if a != b || math.Float64bits(ba) != math.Float64bits(bb) {
+				t.Fatalf("state %+v ra=%d: reloaded quantized lookup drifted", s, ra)
+			}
+		}
+	}
+}
+
+// TestQuantizeIdempotent: quantizing twice is a no-op, and the accessors
+// report a sensible backend.
+func TestQuantizeIdempotent(t *testing.T) {
+	cfg := tinyConfig()
+	table, err := BuildTable(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if table.Quantized() || table.QuantBytes() != 0 {
+		t.Fatal("fresh table claims a quantized backend")
+	}
+	if err := table.Quantize(); err != nil {
+		t.Fatal(err)
+	}
+	if !table.Quantized() || table.QuantBytes() == 0 {
+		t.Fatal("Quantize did not install the backend")
+	}
+	size := table.QuantBytes()
+	if err := table.Quantize(); err != nil {
+		t.Fatal(err)
+	}
+	if table.QuantBytes() != size {
+		t.Fatal("re-quantizing changed the backend")
+	}
+	// ~4x smaller than the float64 slices it mirrors.
+	exactBytes := table.NumEntries() * 8
+	if table.QuantBytes()*3 > exactBytes {
+		t.Fatalf("quantized backend %d B is not ~4x below exact %d B", table.QuantBytes(), exactBytes)
+	}
+}
+
+// FuzzQuantCodec fuzzes the per-slice affine codec: for any finite slice,
+// every value must round-trip through its int16 code within half a
+// quantization step (plus clamp slack at the extremes), and a constant
+// slice must round-trip exactly.
+func FuzzQuantCodec(f *testing.F) {
+	f.Add(-10.0, 10.0, 0.25)
+	f.Add(0.0, 0.0, 0.0)
+	f.Add(-1e-12, 1e-12, 0.0)
+	f.Add(-12345.678, 0.001, -3.5)
+	f.Fuzz(func(t *testing.T, a, b, c float64) {
+		vals := []float64{a, b, c}
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				if _, _, err := quantParams(vals); err == nil {
+					t.Fatal("quantParams accepted a non-finite slice")
+				}
+				return
+			}
+		}
+		scale, offset, err := quantParams(vals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if scale == 0 {
+			for _, v := range vals {
+				if got := quantDecode(quantCode(v, scale, offset), scale, offset); got != offset {
+					t.Fatalf("constant slice: decode %v != offset %v", got, offset)
+				}
+			}
+			return
+		}
+		// Half a step of rounding, with slack for the decode arithmetic.
+		limit := scale*0.5*(1+1e-9) + 1e-9*math.Abs(offset) + 1e-300
+		for _, v := range vals {
+			code := quantCode(v, scale, offset)
+			if code > quantRange || code < -quantRange {
+				t.Fatalf("code %d outside +-%d", code, quantRange)
+			}
+			if err := math.Abs(quantDecode(code, scale, offset) - v); err > limit {
+				t.Fatalf("value %v: round-trip error %v exceeds %v (scale %v)", v, err, limit, scale)
+			}
+		}
+	})
+}
+
+// TestAllQValuesBatchGolden: the batch serve must be bit-identical to
+// per-query AllQValuesFast — values and bounds — on both backends, with
+// invalid advisory states handled in place.
+func TestAllQValuesBatchGolden(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		table func(t testing.TB) *Table
+	}{
+		{"exact", getCoarseTable},
+		{"quantized", getQuantTable},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			table := tc.table(t)
+			states := randomStates(table, 257, 41)
+			queries := make([]Query, len(states))
+			for i, s := range states {
+				ra := Advisory(i % (NumAdvisories + 1)) // one in six invalid
+				queries[i] = Query{Tau: s.tau, H: s.h, DH0: s.dh0, DH1: s.dh1, RA: ra}
+			}
+			dst := make([][NumAdvisories]float64, len(queries))
+			bounds := make([]float64, len(queries))
+			var scratch BatchScratch
+			table.AllQValuesBatch(dst, bounds, queries, &scratch)
+			for i, q := range queries {
+				var want [NumAdvisories]float64
+				wantBound := table.AllQValuesFast(&want, q.Tau, q.H, q.DH0, q.DH1, q.RA)
+				if !q.RA.Valid() {
+					wantBound = 0
+					for a := range want {
+						want[a] = math.Inf(-1)
+					}
+				}
+				for a := range want {
+					if math.Float64bits(dst[i][a]) != math.Float64bits(want[a]) {
+						t.Fatalf("query %d advisory %d: batch %v != solo %v", i, a, dst[i][a], want[a])
+					}
+				}
+				if math.Float64bits(bounds[i]) != math.Float64bits(wantBound) {
+					t.Fatalf("query %d: batch bound %v != solo %v", i, bounds[i], wantBound)
+				}
+			}
+			// Second serve through the same scratch: the reuse path must not
+			// leak state between batches.
+			table.AllQValuesBatch(dst[:7], bounds[:7], queries[:7], &scratch)
+			for i, q := range queries[:7] {
+				var want [NumAdvisories]float64
+				table.AllQValuesFast(&want, q.Tau, q.H, q.DH0, q.DH1, q.RA)
+				if q.RA.Valid() && dst[i] != want {
+					t.Fatalf("reused scratch query %d drifted", i)
+				}
+			}
+		})
+	}
+}

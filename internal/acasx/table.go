@@ -5,6 +5,7 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"acasxval/internal/interp"
@@ -22,6 +23,15 @@ type Table struct {
 	// grid spans (h, dh0, dh1); kept for online interpolation.
 	grid     *interp.Grid
 	contSize int
+	// Quantized backend (nil when disabled): per-slice affine-coded int16
+	// Q values in vertex-major, advisory-contiguous, tau-interleaved
+	// order, with the per-slice codec and error bound alongside. See
+	// quantized.go.
+	qz           []int16
+	qscale, qoff []float64
+	qerr         []float64
+	// fallbacks counts margin-gate fallbacks to the exact slices.
+	fallbacks atomic.Uint64
 	// stats
 	buildTime  time.Duration
 	sweepCount int
@@ -87,6 +97,11 @@ func BuildTable(cfg Config) (*Table, error) {
 		t.sweepCount++
 	}
 	t.buildTime = time.Since(start)
+	if cfg.Quantized {
+		if err := t.Quantize(); err != nil {
+			return nil, err
+		}
+	}
 	return t, nil
 }
 
@@ -274,18 +289,31 @@ func (t *Table) AllQValues(dst *[NumAdvisories]float64, tau, h, dh0, dh1 float64
 	pt := [3]float64{h, dh0, dh1}
 	ws, _ := t.grid.WeightsAppend(buf[:0], pt[:])
 	lo, frac := t.clampTau(tau)
-	raOff := int(ra) * t.contSize
-	stateSize := t.stateSize()
-	qlo := t.q[lo]
-	for a := 0; a < NumAdvisories; a++ {
-		dst[a] = dotGather(ws, qlo, a*stateSize+raOff)
+	t.gatherExact(dst, ws, lo, frac, ra)
+}
+
+// AllQValuesFast fills dst like AllQValues but serves the query from the
+// quantized int16 backend when one is installed, returning the worst-case
+// absolute error of the returned values versus the exact path (0 on the
+// exact path). Callers deciding an advisory from quantized values must
+// apply the margin gate (bestAllowedGated or the fused gate in
+// multiCycle) so the argmax stays identical to the exact path.
+func (t *Table) AllQValuesFast(dst *[NumAdvisories]float64, tau, h, dh0, dh1 float64, ra Advisory) float64 {
+	if t.qz == nil {
+		t.AllQValues(dst, tau, h, dh0, dh1, ra)
+		return 0
 	}
-	if frac > 0 && lo+1 <= t.Horizon() {
-		qhi := t.q[lo+1]
-		for a := 0; a < NumAdvisories; a++ {
-			dst[a] = dst[a]*(1-frac) + frac*dotGather(ws, qhi, a*stateSize+raOff)
+	if !ra.Valid() {
+		for a := range dst {
+			dst[a] = math.Inf(-1)
 		}
+		return 0
 	}
+	var buf [16]interp.VertexWeight
+	pt := [3]float64{h, dh0, dh1}
+	ws, _ := t.grid.WeightsAppend(buf[:0], pt[:])
+	lo, frac := t.clampTau(tau)
+	return t.gatherQuant(dst, ws, lo, frac, ra)
 }
 
 // BestAdvisoryFast returns the advisory maximizing the interpolated Q value
@@ -293,11 +321,16 @@ func (t *Table) AllQValues(dst *[NumAdvisories]float64, tau, h, dh0, dh1 float64
 // is the allocation-free shared-weight scan the online executive uses on
 // every decision cycle; BestAdvisory delegates here. The boolean is false
 // when the mask bans every action (cannot happen with a default mask, which
-// always allows COC) or ra is invalid.
+// always allows COC) or ra is invalid. On a quantized table the scan is
+// served from the int16 backend under the margin gate, so the returned
+// advisory is identical to the exact path's in every case.
 func (t *Table) BestAdvisoryFast(tau, h, dh0, dh1 float64, ra Advisory, mask SenseMask) (Advisory, bool) {
 	var q [NumAdvisories]float64
-	t.AllQValues(&q, tau, h, dh0, dh1, ra)
-	return bestAllowed(&q, mask)
+	bound := t.AllQValuesFast(&q, tau, h, dh0, dh1, ra)
+	if bound == 0 {
+		return bestAllowed(&q, mask)
+	}
+	return t.bestAllowedGated(&q, bound, mask, tau, h, dh0, dh1, ra)
 }
 
 // BestAdvisory returns the advisory maximizing the interpolated Q value at
@@ -336,5 +369,11 @@ func (t *Table) validateLoaded() error {
 	}
 	t.grid = m.grid
 	t.contSize = m.contSize
+	if t.cfg.Quantized && t.qz == nil {
+		// The file stores the exact slices; the int16 backend is a pure
+		// function of them, so re-deriving it here round-trips the
+		// quantized table losslessly.
+		return t.Quantize()
+	}
 	return nil
 }

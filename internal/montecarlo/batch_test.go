@@ -1,0 +1,157 @@
+package montecarlo
+
+import (
+	"sync"
+	"testing"
+
+	"acasxval/internal/acasx"
+	"acasxval/internal/encounter"
+	"acasxval/internal/sim"
+)
+
+// TestEvaluateBatchSizeInvariance: the estimate must be bit-identical for
+// any lockstep batch size and any worker count — BatchSize, like
+// Parallelism, is a pure scheduling knob. Runs equipped so every decision
+// cycle exercises the gathered split-query path.
+func TestEvaluateBatchSizeInvariance(t *testing.T) {
+	factory := acasFactory(t)
+	model := DefaultEncounterModel()
+	cfg := DefaultConfig()
+	cfg.Samples = 40
+	cfg.Seed = 99
+
+	var base *Estimate
+	for _, tc := range []struct{ batch, workers int }{
+		{0, 1}, {1, 1}, {2, 1}, {5, 1}, {4, 3}, {16, 2},
+	} {
+		cfg.BatchSize = tc.batch
+		cfg.Parallelism = tc.workers
+		est, err := Evaluate(model, factory, cfg)
+		if err != nil {
+			t.Fatalf("batch=%d workers=%d: %v", tc.batch, tc.workers, err)
+		}
+		if base == nil {
+			base = est
+			continue
+		}
+		if *est != *base {
+			t.Errorf("batch=%d workers=%d: estimate differs\n got: %+v\nwant: %+v",
+				tc.batch, tc.workers, est, base)
+		}
+	}
+	if base.AlertRate == 0 {
+		t.Error("invariance fixture never alerted; the comparison is vacuous for the decision path")
+	}
+}
+
+// TestEvaluateMultiBatchSizeInvariance: the same invariance over K = 2
+// intruder encounters, covering the batched two-phase decision cycle with
+// multi-threat lanes.
+func TestEvaluateMultiBatchSizeInvariance(t *testing.T) {
+	factory := acasFactory(t)
+	model := MultiEncounterModel{
+		Intruders: []EncounterModel{DefaultEncounterModel(), DefaultEncounterModel()},
+	}
+	cfg := DefaultConfig()
+	cfg.Samples = 24
+	cfg.Seed = 5
+
+	var base *Estimate
+	for _, tc := range []struct{ batch, workers int }{
+		{0, 1}, {3, 1}, {4, 2},
+	} {
+		cfg.BatchSize = tc.batch
+		cfg.Parallelism = tc.workers
+		est, err := EvaluateMulti(model, factory, cfg)
+		if err != nil {
+			t.Fatalf("batch=%d workers=%d: %v", tc.batch, tc.workers, err)
+		}
+		if base == nil {
+			base = est
+			continue
+		}
+		if *est != *base {
+			t.Errorf("batch=%d workers=%d: estimate differs\n got: %+v\nwant: %+v",
+				tc.batch, tc.workers, est, base)
+		}
+	}
+}
+
+// TestConfigBatchSizeValidation: a negative batch size is rejected.
+func TestConfigBatchSizeValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.BatchSize = -1
+	if err := cfg.Validate(); err == nil {
+		t.Error("negative BatchSize accepted")
+	}
+}
+
+// acasQuantFactory is acasFactory's quantized twin: an independent table
+// build (quantizing the shared table in place would flip every "exact"
+// test and benchmark onto the gated fast path) with the int16 backend.
+var (
+	quantFacOnce  sync.Once
+	quantFacTable *acasx.Table
+	quantFacErr   error
+)
+
+func acasQuantFactory(tb testing.TB) SystemFactory {
+	tb.Helper()
+	quantFacOnce.Do(func() {
+		cfg := acasx.DefaultConfig()
+		cfg.Workers = 8
+		cfg.Quantized = true
+		quantFacTable, quantFacErr = acasx.BuildTable(cfg)
+	})
+	if quantFacErr != nil {
+		tb.Fatal(quantFacErr)
+	}
+	return func() (sim.System, sim.System) {
+		return sim.NewACASXU(quantFacTable), sim.NewACASXU(quantFacTable)
+	}
+}
+
+// BenchmarkEvaluateEquippedSteadyState is the table-bound counterpart of
+// BenchmarkEvaluateSteadyState: both aircraft run the ACAS executive over
+// the head-on conflict geometry (the point model keeps every decision
+// cycle inside the optimization horizon), so each episode pays the
+// interpolated table gathers that dominate equipped campaign and search
+// workloads. The grid sweeps the two throughput knobs — the int16
+// quantized backend and the lockstep episode batch — whose estimates are
+// bit-identical to exact/solo; episodes/s is the headline metric the
+// BENCH_<date>.json snapshots track. allocs/op is per-episode steady
+// state and must stay ~0 on every variant.
+func BenchmarkEvaluateEquippedSteadyState(b *testing.B) {
+	model := PointModel(encounter.PresetHeadOn())
+	for _, tc := range []struct {
+		name      string
+		quantized bool
+		batch     int
+	}{
+		{"exact", false, 0},
+		{"exact-batch8", false, 8},
+		{"quantized", true, 0},
+		{"quantized-batch8", true, 8},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			factory := acasFactory(b)
+			if tc.quantized {
+				factory = acasQuantFactory(b)
+			}
+			cfg := DefaultConfig()
+			cfg.Samples = b.N
+			cfg.Seed = 1
+			cfg.Parallelism = 1
+			cfg.BatchSize = tc.batch
+			scratch := &Scratch{}
+			b.ReportAllocs()
+			b.ResetTimer()
+			est, err := EvaluateWithScratch(model, factory, cfg, scratch)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "episodes/s")
+			b.ReportMetric(est.PNMAC, "P-NMAC")
+		})
+	}
+}

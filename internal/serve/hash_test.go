@@ -51,6 +51,12 @@ func TestSpecHashCanonicalEquivalence(t *testing.T) {
 		t.Errorf("Parallelism changed the hash — it must be scheduling-only")
 	}
 
+	batched := baseSpec()
+	batched.BatchSize = 16
+	if got := mustHash(t, batched); got != base {
+		t.Errorf("BatchSize changed the hash — it must be scheduling-only")
+	}
+
 	// Estimator tuning without the estimator axis never executes.
 	tuned := baseSpec()
 	tuned.EstimatorSpec = montecarlo.RareEventSpec{Defensive: 0.9}

@@ -1,0 +1,308 @@
+package sim
+
+import (
+	"fmt"
+
+	"acasxval/internal/acasx"
+	"acasxval/internal/encounter"
+	"acasxval/internal/geom"
+)
+
+// Batch steps up to Size episodes of one RunConfig in lockstep: every
+// in-flight episode owns a full Runner (its fleet, trackers, monitors and
+// RNG streams stay exactly the solo machinery), but the episodes advance
+// together one decision cycle and one integration step at a time. The point
+// is table locality: each decision cycle, the pending ACAS table queries of
+// every in-flight episode are gathered and served in one
+// Table.AllQValuesBatch call, grouped by grid cell, so a batch touches each
+// table region once per cycle instead of once per episode.
+//
+// The batch is bit-identical to running the episodes one at a time through
+// Runner.RunMulti, for any batch size:
+//
+//   - every per-aircraft RNG stream is owned by one (episode, aircraft)
+//     pair and is consumed in the same order as solo, so interleaving
+//     episodes cannot perturb a draw;
+//   - a gathered query is served with the identical arithmetic as the
+//     inline query (AllQValuesBatch's contract), and the split decision
+//     cycle (BeginDecide/FinishDecide) is exactly the inline Decide;
+//   - the intra-cycle coordination ordering is preserved: all ownship
+//     decisions of a cycle gather, resolve and apply before any intruder
+//     surveils the ownship's claimed sense (phase two), matching the solo
+//     own-then-intruders order within each episode.
+//
+// Only single-track decisions of plain ACASXU systems are gathered; every
+// other system (multi-threat fusion, belief, MPC, ...) decides inline at
+// the same point of the cycle, trivially identical to solo.
+//
+// A Batch is not safe for concurrent use; each worker owns one.
+type Batch struct {
+	cfg   RunConfig
+	slots []batchSlot
+
+	// Gathered-query scratch, reused every decision cycle.
+	scratch acasx.BatchScratch
+	queries []acasx.Query
+	qv      [][acasx.NumAdvisories]float64
+	bounds  []float64
+	pend    []pendingDecision
+}
+
+// batchSlot is one lockstep episode lane.
+type batchSlot struct {
+	runner       *Runner
+	idx          int
+	duration     float64
+	nextDecision float64
+	due          bool
+	live         bool
+	res          Result
+}
+
+// pendingDecision is one split decision cycle awaiting its gathered table
+// query: everything FinishDecide needs beyond the advisory values.
+type pendingDecision struct {
+	aircraft *aircraft
+	logic    *acasx.Logic
+	table    *acasx.Table
+	pos, vel geom.Vec3
+	mask     acasx.SenseMask
+}
+
+// NewBatch builds a lockstep batch of size episode lanes for cfg.
+func NewBatch(cfg RunConfig, size int) (*Batch, error) {
+	b := &Batch{}
+	if err := b.Reconfigure(cfg, size); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// Reconfigure re-wires the batch for a new configuration and size in place,
+// growing the lane pool as needed. Reconfiguring to the current state is
+// cheap (each Runner short-circuits an unchanged configuration).
+func (b *Batch) Reconfigure(cfg RunConfig, size int) error {
+	if size < 1 {
+		return fmt.Errorf("sim: batch size %d < 1", size)
+	}
+	for len(b.slots) < size {
+		b.slots = append(b.slots, batchSlot{})
+	}
+	b.slots = b.slots[:size]
+	for i := range b.slots {
+		s := &b.slots[i]
+		if s.runner == nil {
+			r, err := NewRunner(cfg)
+			if err != nil {
+				return err
+			}
+			s.runner = r
+		} else if err := s.runner.Reconfigure(cfg); err != nil {
+			return err
+		}
+	}
+	b.cfg = cfg
+	return nil
+}
+
+// Size returns the number of episode lanes.
+func (b *Batch) Size() int { return len(b.slots) }
+
+// RunMulti runs n episodes through the lockstep lanes in waves of up to
+// Size. episode(i, lane) supplies episode i's encounter, systems and seed;
+// systems must be independent per lane (lanes run concurrently in simulation
+// time, so two lanes must never share system state), and the returned
+// encounter parameters are fully consumed before the next episode call, so
+// a shared sampling buffer is safe. done(i, res, err) is called exactly once
+// per episode; res.AlertCounts (and the other runner-owned slices) are valid
+// only until the lane's next episode begins.
+func (b *Batch) RunMulti(n int, episode func(i, lane int) (encounter.MultiParams, []System, uint64, error), done func(i int, res Result, err error)) {
+	for next := 0; next < n; {
+		wave := len(b.slots)
+		if n-next < wave {
+			wave = n - next
+		}
+		live := 0
+		for s := 0; s < wave; s++ {
+			slot := &b.slots[s]
+			slot.idx = next + s
+			slot.live = false
+			m, systems, seed, err := episode(slot.idx, s)
+			if err != nil {
+				done(slot.idx, Result{}, err)
+				continue
+			}
+			res, duration, err := slot.runner.beginMulti(m, systems, seed)
+			if err != nil {
+				done(slot.idx, Result{}, err)
+				continue
+			}
+			if duration <= 0 {
+				// Degenerate episode: no simulated time, finish immediately
+				// (the solo loop body would never run).
+				slot.runner.finishMulti(&res)
+				done(slot.idx, res, nil)
+				continue
+			}
+			slot.res = res
+			slot.duration = duration
+			slot.nextDecision = 0
+			slot.live = true
+			live++
+		}
+		next += wave
+
+		// All lanes of a wave share the clock timeline (they reset to zero
+		// together and tick together), so one lockstep loop drives them all.
+		for live > 0 {
+			var now float64
+			for s := 0; s < wave; s++ {
+				if b.slots[s].live {
+					now = b.slots[s].runner.clock.Now()
+					break
+				}
+			}
+			anyDue := false
+			for s := 0; s < wave; s++ {
+				slot := &b.slots[s]
+				slot.due = slot.live && now >= slot.nextDecision
+				anyDue = anyDue || slot.due
+			}
+			if anyDue {
+				// Phase one: every due lane's ownship decides — gather the
+				// single-track ACAS queries, serve them in one cell-grouped
+				// batch, complete and apply. Intruders must not surveil
+				// until this finishes: their coordination constraint reads
+				// the ownship sense claimed this cycle.
+				for s := 0; s < wave; s++ {
+					if b.slots[s].due {
+						b.gatherOwn(b.slots[s].runner, now)
+					}
+				}
+				b.resolve(now)
+				// Phase two: every due lane's intruders decide.
+				for s := 0; s < wave; s++ {
+					if b.slots[s].due {
+						b.gatherIntruders(b.slots[s].runner, now)
+					}
+				}
+				b.resolve(now)
+				for s := 0; s < wave; s++ {
+					if b.slots[s].due {
+						b.slots[s].nextDecision += b.cfg.DecisionPeriod
+					}
+				}
+			}
+			for s := 0; s < wave; s++ {
+				slot := &b.slots[s]
+				if !slot.live {
+					continue
+				}
+				slot.runner.stepOnce(now, &slot.res)
+				if slot.runner.clock.Now() >= slot.duration {
+					slot.runner.finishMulti(&slot.res)
+					done(slot.idx, slot.res, nil)
+					slot.live = false
+					live--
+				}
+			}
+		}
+	}
+}
+
+// gatherOwn runs one lane's ownship decision cycle: surveillance and
+// constraint as solo, then either a gathered split decision (single-track
+// plain ACASXU) or an inline decision (everything else).
+func (b *Batch) gatherOwn(r *Runner, now float64) {
+	tracks, constraint := r.ownSurveil(now)
+	if len(tracks) == 0 {
+		return
+	}
+	a := r.fleet[0]
+	if ax, ok := a.system.(*ACASXU); ok && len(tracks) == 1 {
+		b.beginACAS(a, ax.logic, tracks[0], constraint, now)
+		return
+	}
+	d := a.system.DecideTracks(now, a.vehicle.State(), tracks, constraint)
+	a.applyDecision(d, now)
+}
+
+// gatherIntruders runs one lane's intruder decision cycles (phase two:
+// the ownship's decision for this cycle is already applied).
+func (b *Batch) gatherIntruders(r *Runner, now float64) {
+	for j := 1; j <= r.k; j++ {
+		tr, constraint, ok := r.intruderSurveil(now, j)
+		if !ok {
+			continue
+		}
+		a := r.fleet[j]
+		if ax, isACAS := a.system.(*ACASXU); isACAS {
+			b.beginACAS(a, ax.logic, tr, constraint, now)
+			continue
+		}
+		r.pairTrack[0] = tr
+		d := a.system.DecideTracks(now, a.vehicle.State(), r.pairTrack[:], constraint)
+		a.applyDecision(d, now)
+	}
+}
+
+// beginACAS starts one split ACAS decision cycle: out-of-horizon cycles
+// complete immediately (BeginDecide returned the final decision), in-horizon
+// cycles enqueue their table query for the gathered resolve.
+func (b *Batch) beginACAS(a *aircraft, logic *acasx.Logic, tr geom.Track, c Constraint, now float64) {
+	d, q, need := logic.BeginDecide(a.vehicle.State(), tr.Pos, tr.Vel)
+	if !need {
+		a.applyDecision(fromACASDecision(d), now)
+		return
+	}
+	b.queries = append(b.queries, q)
+	b.pend = append(b.pend, pendingDecision{
+		aircraft: a,
+		logic:    logic,
+		table:    logic.Table(),
+		pos:      tr.Pos,
+		vel:      tr.Vel,
+		mask:     acasx.SenseMask{BanUp: c.BanUp, BanDown: c.BanDown},
+	})
+}
+
+// resolve serves every gathered query and completes its decision cycle.
+// The common case — every pending query against one shared table — goes
+// through the cell-grouped AllQValuesBatch; lanes equipped with distinct
+// tables (a factory building one table per lane) fall back to per-query
+// serves, still bit-identical.
+func (b *Batch) resolve(now float64) {
+	n := len(b.pend)
+	if n == 0 {
+		return
+	}
+	if cap(b.qv) < n {
+		b.qv = make([][acasx.NumAdvisories]float64, n)
+		b.bounds = make([]float64, n)
+	}
+	qv := b.qv[:n]
+	bounds := b.bounds[:n]
+	table := b.pend[0].table
+	uniform := true
+	for i := 1; i < n; i++ {
+		if b.pend[i].table != table {
+			uniform = false
+			break
+		}
+	}
+	if uniform {
+		table.AllQValuesBatch(qv, bounds, b.queries, &b.scratch)
+	} else {
+		for i := range b.pend {
+			q := &b.queries[i]
+			bounds[i] = b.pend[i].table.AllQValuesFast(&qv[i], q.Tau, q.H, q.DH0, q.DH1, q.RA)
+		}
+	}
+	for i := range b.pend {
+		p := &b.pend[i]
+		d := p.logic.FinishDecide(&qv[i], bounds[i], p.aircraft.vehicle.State(), p.pos, p.vel, p.mask)
+		p.aircraft.applyDecision(fromACASDecision(d), now)
+	}
+	b.pend = b.pend[:0]
+	b.queries = b.queries[:0]
+}

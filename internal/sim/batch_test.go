@@ -1,0 +1,338 @@
+package sim
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"acasxval/internal/acasx"
+	"acasxval/internal/encounter"
+	"acasxval/internal/fault"
+)
+
+var (
+	quantTableOnce sync.Once
+	quantTestTable *acasx.Table
+	quantTableErr  error
+)
+
+// getQuantTable builds the quantized twin of getTable's logic table: the
+// identical build inputs (Quantized is not one), plus the int16 backend.
+func getQuantTable(tb testing.TB) *acasx.Table {
+	tb.Helper()
+	quantTableOnce.Do(func() {
+		cfg := acasx.DefaultConfig()
+		cfg.Workers = 8
+		cfg.Quantized = true
+		quantTestTable, quantTableErr = acasx.BuildTable(cfg)
+	})
+	if quantTableErr != nil {
+		tb.Fatal(quantTableErr)
+	}
+	return quantTestTable
+}
+
+// requireSameResult fails unless two episode results are bit-identical.
+func requireSameResult(t *testing.T, label string, got, want Result) {
+	t.Helper()
+	f64 := math.Float64bits
+	if got.NMAC != want.NMAC || f64(got.NMACTime) != f64(want.NMACTime) ||
+		f64(got.MinSeparation) != f64(want.MinSeparation) ||
+		f64(got.MinSeparationAt) != f64(want.MinSeparationAt) ||
+		f64(got.MinHorizontal) != f64(want.MinHorizontal) ||
+		f64(got.MinVertical) != f64(want.MinVertical) ||
+		f64(got.OwnAlertTime) != f64(want.OwnAlertTime) ||
+		f64(got.Duration) != f64(want.Duration) {
+		t.Fatalf("%s: result drifted:\n got %+v\nwant %+v", label, got, want)
+	}
+	if len(got.AlertCounts) != len(want.AlertCounts) {
+		t.Fatalf("%s: alert counts %v != %v", label, got.AlertCounts, want.AlertCounts)
+	}
+	for i := range got.AlertCounts {
+		if got.AlertCounts[i] != want.AlertCounts[i] {
+			t.Fatalf("%s: alert counts %v != %v", label, got.AlertCounts, want.AlertCounts)
+		}
+	}
+}
+
+// batchEpisodes is the bit-identity test fixture: every pairwise preset
+// plus the multi-intruder presets, each with its own seed.
+func batchEpisodes(t *testing.T) []struct {
+	m    encounter.MultiParams
+	seed uint64
+} {
+	t.Helper()
+	var eps []struct {
+		m    encounter.MultiParams
+		seed uint64
+	}
+	for i, name := range encounter.PresetNames() {
+		p, err := encounter.Preset(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eps = append(eps, struct {
+			m    encounter.MultiParams
+			seed uint64
+		}{p.Multi(), uint64(100 + i)})
+	}
+	eps = append(eps,
+		struct {
+			m    encounter.MultiParams
+			seed uint64
+		}{encounter.MultiPresetSandwich(), 7},
+		struct {
+			m    encounter.MultiParams
+			seed uint64
+		}{encounter.MultiPresetConvergingPair(), 5},
+		struct {
+			m    encounter.MultiParams
+			seed uint64
+		}{encounter.MultiPresetCrossingStream(), 1234},
+	)
+	return eps
+}
+
+// runBatchIdentity runs the fixture episodes solo and through lockstep
+// batches of several sizes, requiring bit-identical results throughout.
+// makeSystems builds a fresh independent system set for k intruders.
+func runBatchIdentity(t *testing.T, cfg RunConfig, makeSystems func(k int) []System) {
+	t.Helper()
+	eps := batchEpisodes(t)
+
+	solo, err := NewRunner(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]Result, len(eps))
+	for i, ep := range eps {
+		res, err := solo.RunMulti(ep.m, makeSystems(ep.m.NumIntruders()), ep.seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.AlertCounts = append([]int(nil), res.AlertCounts...)
+		want[i] = res
+	}
+
+	for _, size := range []int{1, 2, 3, 5} {
+		b, err := NewBatch(cfg, size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := make([]bool, len(eps))
+		b.RunMulti(len(eps),
+			func(i, lane int) (encounter.MultiParams, []System, uint64, error) {
+				return eps[i].m, makeSystems(eps[i].m.NumIntruders()), eps[i].seed, nil
+			},
+			func(i int, res Result, err error) {
+				if err != nil {
+					t.Errorf("size %d episode %d: %v", size, i, err)
+					return
+				}
+				if seen[i] {
+					t.Errorf("size %d episode %d finished twice", size, i)
+				}
+				seen[i] = true
+				requireSameResult(t, "batch", res, want[i])
+			})
+		for i, ok := range seen {
+			if !ok {
+				t.Fatalf("size %d episode %d never finished", size, i)
+			}
+		}
+	}
+}
+
+// TestBatchBitIdentity: the lockstep batch kernel must reproduce the solo
+// Runner bit for bit across every preset encounter, all-equipped — the
+// configuration where every decision cycle goes through the gathered
+// split-query path.
+func TestBatchBitIdentity(t *testing.T) {
+	table := getTable(t)
+	runBatchIdentity(t, DefaultRunConfig(), func(k int) []System {
+		sys := []System{NewACASXU(table)}
+		for j := 1; j <= k; j++ {
+			sys = append(sys, NewACASXU(table))
+		}
+		return sys
+	})
+}
+
+// TestBatchBitIdentityMixedSystems: lanes mixing gathered (ACASXU) and
+// inline (unequipped) decisions, with the second intruder of multi
+// encounters unequipped.
+func TestBatchBitIdentityMixedSystems(t *testing.T) {
+	table := getTable(t)
+	runBatchIdentity(t, DefaultRunConfig(), func(k int) []System {
+		sys := []System{NewACASXU(table)}
+		for j := 1; j <= k; j++ {
+			if j == 2 {
+				sys = append(sys, NoSystem{})
+			} else {
+				sys = append(sys, NewACASXU(table))
+			}
+		}
+		return sys
+	})
+}
+
+// TestBatchBitIdentityFaulted: the batch must also match solo under an
+// active fault profile (dropout, range limit, latency, comm loss), whose
+// streams draw from the dedicated per-aircraft fault RNGs.
+func TestBatchBitIdentityFaulted(t *testing.T) {
+	table := getTable(t)
+	cfg := DefaultRunConfig()
+	cfg.Faults = fault.Profile{
+		BurstEnter:       0.05,
+		BurstExit:        0.4,
+		BurstDrop:        1,
+		DetectionRange:   8000,
+		Latency:          1,
+		CommLossStart:    10,
+		CommLossDuration: 15,
+	}
+	runBatchIdentity(t, cfg, func(k int) []System {
+		sys := []System{NewACASXU(table)}
+		for j := 1; j <= k; j++ {
+			sys = append(sys, NewACASXU(table))
+		}
+		return sys
+	})
+}
+
+// TestBatchQuantizedBitIdentity is the end-to-end quantized guarantee: full
+// episodes driven through the quantized table — solo and batched — must be
+// bit-identical to the exact table's episodes, because the margin gate
+// falls back to the exact slices whenever the quantized argmax is not
+// provably the exact one, and trajectories depend only on the chosen
+// advisories.
+func TestBatchQuantizedBitIdentity(t *testing.T) {
+	exact := getTable(t)
+	quant := getQuantTable(t)
+	cfg := DefaultRunConfig()
+	eps := batchEpisodes(t)
+
+	solo, err := NewRunner(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	makeSystems := func(table *acasx.Table, k int) []System {
+		sys := []System{NewACASXU(table)}
+		for j := 1; j <= k; j++ {
+			sys = append(sys, NewACASXU(table))
+		}
+		return sys
+	}
+	want := make([]Result, len(eps))
+	for i, ep := range eps {
+		res, err := solo.RunMulti(ep.m, makeSystems(exact, ep.m.NumIntruders()), ep.seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.AlertCounts = append([]int(nil), res.AlertCounts...)
+		want[i] = res
+	}
+
+	// Solo with the quantized table.
+	for i, ep := range eps {
+		res, err := solo.RunMulti(ep.m, makeSystems(quant, ep.m.NumIntruders()), ep.seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireSameResult(t, "quantized solo", res, want[i])
+	}
+
+	// Batched with the quantized table.
+	b, err := NewBatch(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.RunMulti(len(eps),
+		func(i, lane int) (encounter.MultiParams, []System, uint64, error) {
+			return eps[i].m, makeSystems(quant, eps[i].m.NumIntruders()), eps[i].seed, nil
+		},
+		func(i int, res Result, err error) {
+			if err != nil {
+				t.Errorf("episode %d: %v", i, err)
+				return
+			}
+			requireSameResult(t, "quantized batch", res, want[i])
+		})
+}
+
+// TestBatchSteadyStateZeroAlloc: at a steady encounter shape the lockstep
+// kernel must allocate nothing per wave, like the solo Runner.
+func TestBatchSteadyStateZeroAlloc(t *testing.T) {
+	table := getTable(t)
+	cfg := DefaultRunConfig()
+	b, err := NewBatch(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := encounter.PresetHeadOn().Multi()
+	lanes := make([][]System, 4)
+	for lane := range lanes {
+		lanes[lane] = []System{NewACASXU(table), NewACASXU(table)}
+	}
+	seed := uint64(1)
+	run := func() {
+		b.RunMulti(4,
+			func(i, lane int) (encounter.MultiParams, []System, uint64, error) {
+				return m, lanes[lane], seed + uint64(i), nil
+			},
+			func(i int, res Result, err error) {
+				if err != nil {
+					t.Fatal(err)
+				}
+			})
+		seed += 4
+	}
+	run() // warm the scratch
+	allocs := testing.AllocsPerRun(5, run)
+	if allocs > 0 {
+		t.Errorf("batched wave allocates %.1f times, want 0", allocs)
+	}
+}
+
+// TestBatchValidation: batch construction and error delivery.
+func TestBatchValidation(t *testing.T) {
+	if _, err := NewBatch(DefaultRunConfig(), 0); err == nil {
+		t.Fatal("NewBatch accepted size 0")
+	}
+	b, err := NewBatch(DefaultRunConfig(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Size() != 2 {
+		t.Fatalf("Size = %d", b.Size())
+	}
+	// A failing episode delivers its error through done and the wave
+	// continues with the remaining lanes.
+	m := encounter.PresetHeadOn().Multi()
+	got := make(map[int]error, 3)
+	b.RunMulti(3,
+		func(i, lane int) (encounter.MultiParams, []System, uint64, error) {
+			if i == 1 {
+				return encounter.MultiParams{}, nil, 0, errSentinel
+			}
+			return m, []System{NoSystem{}, NoSystem{}}, uint64(i), nil
+		},
+		func(i int, res Result, err error) {
+			got[i] = err
+		})
+	if len(got) != 3 {
+		t.Fatalf("done called %d times, want 3", len(got))
+	}
+	if got[1] != errSentinel {
+		t.Fatalf("episode 1 error = %v", got[1])
+	}
+	if got[0] != nil || got[2] != nil {
+		t.Fatalf("healthy episodes errored: %v %v", got[0], got[2])
+	}
+}
+
+type errTest struct{}
+
+func (errTest) Error() string { return "sentinel" }
+
+var errSentinel error = errTest{}

@@ -162,15 +162,31 @@ func (p *ProximityMeasurer) Reset() {
 
 // Observe feeds one pair of positions at time now.
 func (p *ProximityMeasurer) Observe(now float64, a, b geom.Vec3) {
+	d2h := a.HorizontalDistanceSquaredTo(b)
+	dv := a.VerticalDistanceTo(b)
+	// d2h + dv*dv reassociates DistanceSquaredTo exactly: the full squared
+	// distance sums left to right, so its first two terms are the squared
+	// horizontal distance and squaring the vertical distance recovers
+	// dz*dz bit for bit (negation is exact).
+	p.ObserveSq(now, d2h, dv, d2h+dv*dv)
+}
+
+// ObserveSq feeds one pair observation whose distances the caller already
+// computed: the squared horizontal separation, the vertical separation, and
+// the squared 3-D separation. The episode hot path observes every pair with
+// two monitors; sharing one distance computation between them through this
+// entry point removes half the arithmetic without touching the recorded
+// minima (see Observe for the exact decomposition).
+func (p *ProximityMeasurer) ObserveSq(now, d2h, dv, d23 float64) {
 	p.seen = true
-	if d2 := a.HorizontalDistanceSquaredTo(b); d2 < p.minHorizontalSq {
-		p.minHorizontalSq = d2
+	if d2h < p.minHorizontalSq {
+		p.minHorizontalSq = d2h
 	}
-	if d := a.VerticalDistanceTo(b); d < p.minVertical {
-		p.minVertical = d
+	if dv < p.minVertical {
+		p.minVertical = dv
 	}
-	if d2 := a.DistanceSquaredTo(b); d2 < p.min3DSq {
-		p.min3DSq = d2
+	if d23 < p.min3DSq {
+		p.min3DSq = d23
 		p.at3D = now
 	}
 }
@@ -218,10 +234,17 @@ func (d *AccidentDetector) Reset() {
 
 // Observe feeds one pair of positions at time now.
 func (d *AccidentDetector) Observe(now float64, a, b geom.Vec3) {
+	d.ObserveSq(now, a.HorizontalDistanceSquaredTo(b), a.VerticalDistanceTo(b))
+}
+
+// ObserveSq feeds one pair observation from precomputed distances (squared
+// horizontal, vertical), sharing the arithmetic with ProximityMeasurer on
+// the episode hot path.
+func (d *AccidentDetector) ObserveSq(now, d2h, dv float64) {
 	if d.nmac {
 		return
 	}
-	if a.HorizontalDistanceSquaredTo(b) < d.horizontalLimitSq && a.VerticalDistanceTo(b) < d.verticalLimit {
+	if d2h < d.horizontalLimitSq && dv < d.verticalLimit {
 		d.nmac = true
 		d.nmacTime = now
 	}
